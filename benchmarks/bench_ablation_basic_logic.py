@@ -1,0 +1,114 @@
+"""E9 — the Sec. 2.1 ablation: what the basic logic can and cannot prove.
+
+The basic logic has a single auxiliary command, ``linself``, placed
+statically.  We exhaust its placement space (every atomic block, every
+branch inside one, and zero-test-guarded variants) and show:
+
+* **Treiber stack** — some placement verifies (the paper's Fig. 1a
+  instrumentation is in the space);
+* **pair snapshot** — *no* placement verifies: the LP depends on the
+  future validation (Sec. 2.3);
+* **HSY stack** — *no* placement verifies: the passive thread's LP lies
+  in another thread's code (Sec. 2.2), which ``linself`` cannot express;
+  the registry's proof needs ``lin(E)``.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.logic import basic_logic_verdict, uses_only_basic_commands
+from repro.semantics import Limits
+
+LIMITS = Limits(max_depth=4000, max_nodes=1_000_000)
+
+
+def test_basic_logic_proves_treiber(benchmark):
+    alg = get_algorithm("treiber")
+    verdict = benchmark.pedantic(
+        basic_logic_verdict,
+        args=(alg.impl, alg.spec, alg.workload.menu, 2, 2, LIMITS),
+        rounds=1, iterations=1)
+    print("\n" + verdict.summary())
+    assert verdict.verifiable
+
+
+def test_basic_logic_cannot_prove_pair_snapshot(benchmark):
+    alg = get_algorithm("pair_snapshot")
+    verdict = benchmark.pedantic(
+        basic_logic_verdict,
+        args=(alg.impl, alg.spec, alg.workload.menu, 2, 2, LIMITS),
+        rounds=1, iterations=1)
+    print("\n" + verdict.summary())
+    assert not verdict.verifiable
+    assert verdict.placements_tried > 100
+
+
+def test_hsy_stack_needs_lin_of_other_threads(benchmark):
+    """Targeted ablation: take the registry's HSY instrumentation and
+    delete the ``lin(him)`` helping command from the elimination cas.
+    The passive partner's abstract operation is then never executed and
+    its return check fails — the helping mechanism is not optional."""
+
+    from repro.algorithms.hsy_stack import (
+        POP_LOCALS, PUSH_LOCALS, _initial_memory,
+    )
+    import repro.algorithms.hsy_stack as hsy
+    from repro.instrument import (
+        InstrumentedMethod, InstrumentedObject, verify_instrumented,
+    )
+    from repro.instrument.commands import Lin
+    from repro.lang import Skip, Var
+    from repro.lang.ast import Atomic, If, Seq, While
+
+    def strip_lin_him(stmt):
+        if isinstance(stmt, Lin) and stmt.tid != Var("cid"):
+            return Skip()
+        if isinstance(stmt, Seq):
+            return Seq(tuple(strip_lin_him(s) for s in stmt.stmts))
+        if isinstance(stmt, If):
+            return If(stmt.cond, strip_lin_him(stmt.then),
+                      strip_lin_him(stmt.els))
+        if isinstance(stmt, While):
+            return While(stmt.cond, strip_lin_him(stmt.body))
+        if isinstance(stmt, Atomic):
+            return Atomic(strip_lin_him(stmt.body))
+        return stmt
+
+    alg = get_algorithm("hsy_stack")
+    methods = {
+        name: InstrumentedMethod(name, m.param, m.locals,
+                                 strip_lin_him(m.body))
+        for name, m in alg.instrumented.methods.items()
+    }
+    iobj = InstrumentedObject("hsy-no-helping", methods, alg.spec,
+                              _initial_memory())
+
+    def run():
+        return verify_instrumented(iobj, alg.workload.menu, 2, 1,
+                                   Limits(4000, 2_000_000))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + res.summary())
+    assert not res.ok
+    assert res.failures[0].kind in ("return", "aux-stuck")
+
+
+def test_registry_instrumentations_match_table1_columns(benchmark):
+    """Fixed-LP rows use only linself; Helping/Fut.LP rows require the
+    advanced commands — the feature columns are *about* the proof
+    technique, and our registry realises them."""
+
+    from repro.algorithms import algorithm_names
+
+    def classify():
+        out = {}
+        for name in algorithm_names():
+            alg = get_algorithm(name)
+            out[name] = all(uses_only_basic_commands(m.body)
+                            for m in alg.instrumented.methods.values())
+        return out
+
+    classification = benchmark.pedantic(classify, rounds=1, iterations=1)
+    for name, basic in classification.items():
+        alg = get_algorithm(name)
+        assert basic == (not (alg.helping or alg.future_lp)), name

@@ -1,0 +1,80 @@
+"""E6 — Fig. 12: the pair-snapshot proof outline, VC by VC.
+
+The paper's annotated proof of ``readPair`` is transcribed into the
+outline checker and every verification condition (ATOM steps including
+the try/commit rules, guard entailments, stability under R = [Write]_I,
+and the RET rule) is discharged over the bounded domain.  A deliberately
+broken variant — ``trylinself`` moved to the first read, the placement
+Sec. 6.1 argues is impossible — must fail.
+"""
+
+import pytest
+
+from repro.instrument import trylinself
+from repro.lang import seq
+from repro.lang.builders import load
+from repro.logic import ProofOutline
+from repro.logic.fig12 import (
+    build_domain,
+    build_outline,
+    cell_d,
+    cell_v,
+    check_fig12,
+)
+from repro.logic.outline import ExecEdge
+
+
+def test_fig12_all_vcs_hold(benchmark):
+    report = benchmark.pedantic(check_fig12, rounds=1, iterations=1)
+    print("\n" + report.summary())
+    for result in report.results:
+        print(" ", result)
+    assert report.ok
+    assert len(report.results) == 11
+
+
+def test_fig12_wrong_trylin_placement_fails(benchmark):
+    """Sec. 6.1: "It cannot be moved to other program points since line 3
+    is the only place where we could get the abstract return value"."""
+
+    outline = build_outline()
+    wrong_1 = seq(load("a", cell_d("i")), load("v", cell_v("i")),
+                  trylinself())
+    wrong_2 = seq(load("b", cell_d("j")), load("w", cell_v("j")))
+    edges = (ExecEdge("L", wrong_1, "A1", "wrong: trylin at first read"),
+             ExecEdge("A1", wrong_2, "A2")) + outline.edges[2:]
+    bad = ProofOutline(
+        name="wrong placement", tid=outline.tid, spec=outline.spec,
+        nodes=outline.nodes, edges=edges,
+        return_node=outline.return_node, return_expr=outline.return_expr,
+        guarantee=outline.guarantee)
+
+    def check():
+        return bad.check(build_domain())
+
+    report = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not report.ok
+
+
+def test_fig12_linself_instead_of_trylin_fails(benchmark):
+    """Sec. 6.1: "we cannot replace it by a linself, because if line 4
+    fails later, we have to restart"."""
+
+    from repro.instrument import linself
+
+    outline = build_outline()
+    eager = seq(load("b", cell_d("j")), load("w", cell_v("j")), linself())
+    edges = (outline.edges[0],
+             ExecEdge("A1", eager, "A2", "wrong: linself, no speculation"),
+             ) + outline.edges[2:]
+    bad = ProofOutline(
+        name="linself instead of trylinself", tid=outline.tid,
+        spec=outline.spec, nodes=outline.nodes, edges=edges,
+        return_node=outline.return_node, return_expr=outline.return_expr,
+        guarantee=outline.guarantee)
+
+    def check():
+        return bad.check(build_domain())
+
+    report = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not report.ok

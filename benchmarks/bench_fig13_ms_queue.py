@@ -1,0 +1,187 @@
+"""E7 — Fig. 13 / Sec. 6.2: the MS lock-free queue.
+
+The enq LP is fixed (line 8, ``linself``); the empty-deq LP is
+future-dependent (line 20, ``trylinself`` + commits).  Besides the full
+pipeline, we probe the instrumentation design space:
+
+* a reproduction finding: without memory reuse the eager ``linself`` at
+  line 20 *also* verifies (the line-21 re-check cannot fail on the empty
+  path) — the speculation is what makes the proof robust to reclamation;
+* speculating without the emptiness guard forks the abstract object and
+  collapses the proof — the instrumentation's precision is necessary;
+* the Tail-swinging "help" never changes the abstract queue (it is not
+  LP-helping), which is why enq's LP is fixed.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.ms_lock_free_queue import (
+    DEQ_LOCALS,
+    NODE,
+    _deq_body,
+    _enq_body,
+    _initial_memory,
+)
+from repro.algorithms.specs import EMPTY, queue_spec
+from repro.instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    linself,
+    verify_instrumented,
+)
+from repro.lang import MethodDef, seq
+from repro.lang.builders import assign, atomic, cas_var, eq, if_, ret, while_
+from repro.semantics import Limits
+
+LIMITS = Limits(max_depth=6000, max_nodes=3_000_000)
+
+
+def test_ms_queue_full_pipeline(benchmark):
+    alg = get_algorithm("ms_lock_free_queue")
+    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    print("\n" + report.summary())
+    assert report.ok
+
+
+def _deq_eager_linself():
+    """deq with plain ``linself`` at line 20 — no speculation."""
+
+    return seq(
+        assign("done", 0), assign("res", EMPTY),
+        while_(eq("done", 0),
+               assign("h", "Head"),
+               assign("t", "Tail"),
+               atomic(NODE.load("s", "h", "next"),
+                      if_(eq("s", 0),
+                          if_(eq("h", "t"), linself()))),  # eager LP
+               if_(eq("h", "Head"),
+                   if_(eq("h", "t"),
+                       if_(eq("s", 0),
+                           seq(assign("res", EMPTY), assign("done", 1)),
+                           cas_var("b2", "Tail", "t", "s")),
+                       seq(NODE.load("res2", "s", "val"),
+                           cas_var("b", "Head", "h", "s",
+                                   if_(eq("b", 1), linself())),
+                           if_(eq("b", 1),
+                               seq(assign("res", "res2"),
+                                   assign("done", 1))))))),
+        ret("res"),
+    )
+
+
+def test_eager_linself_verifies_without_memory_reuse(benchmark):
+    """A reproduction *finding*: in our no-reclamation memory model,
+    ``s = h.next = 0`` implies ``h = Head`` (Head only advances along
+    non-null next pointers and nodes are never reused), so the line-21
+    re-check cannot fail in the empty case and even an eager ``linself``
+    at line 20 verifies.  The paper's ``trylinself``/``commit`` treatment
+    is required once nodes can be reclaimed and re-enter the list (the
+    ABA scenario), and is what we use in the registry; this bench records
+    the model-dependence explicitly (see EXPERIMENTS.md)."""
+
+    spec = queue_spec()
+    iobj = InstrumentedObject(
+        "ms-queue-eager",
+        {"enq": InstrumentedMethod("enq", "v",
+                                   ("x", "t", "s", "b", "b2", "done"),
+                                   _enq_body(True)),
+         "deq": InstrumentedMethod("deq", "u", DEQ_LOCALS,
+                                   _deq_eager_linself())},
+        spec, _initial_memory())
+
+    def run():
+        return verify_instrumented(
+            iobj, [("enq", 1), ("enq", 2), ("deq", 0)],
+            threads=2, ops_per_thread=2, limits=LIMITS)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.ok
+
+
+def _deq_unguarded_trylin():
+    """deq speculating at *every* h.next read, without the emptiness
+    guard — wrong: speculating a deq on a non-empty queue forks the
+    abstract object."""
+
+    from repro.instrument import trylinself
+
+    return seq(
+        assign("done", 0), assign("res", EMPTY),
+        while_(eq("done", 0),
+               assign("h", "Head"),
+               assign("t", "Tail"),
+               atomic(NODE.load("s", "h", "next"), trylinself()),
+               if_(eq("h", "Head"),
+                   if_(eq("h", "t"),
+                       if_(eq("s", 0),
+                           seq(assign("res", EMPTY), assign("done", 1)),
+                           cas_var("b2", "Tail", "t", "s")),
+                       seq(NODE.load("res2", "s", "val"),
+                           cas_var("b", "Head", "h", "s",
+                                   if_(eq("b", 1), linself())),
+                           if_(eq("b", 1),
+                               seq(assign("res", "res2"),
+                                   assign("done", 1))))))),
+        ret("res"),
+    )
+
+
+def test_unguarded_speculation_fails(benchmark):
+    """Speculating without the ``h = t && s = null`` guard executes the
+    abstract DEQ on non-empty queues, forking θ — the proof collapses
+    (the precision the paper's instrumentation encodes is necessary)."""
+
+    spec = queue_spec()
+    iobj = InstrumentedObject(
+        "ms-queue-unguarded",
+        {"enq": InstrumentedMethod("enq", "v",
+                                   ("x", "t", "s", "b", "b2", "done"),
+                                   _enq_body(True)),
+         "deq": InstrumentedMethod("deq", "u", DEQ_LOCALS,
+                                   _deq_unguarded_trylin())},
+        spec, _initial_memory())
+
+    def run():
+        return verify_instrumented(
+            iobj, [("enq", 1), ("enq", 2), ("deq", 0)],
+            threads=2, ops_per_thread=2, limits=LIMITS)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not res.ok
+
+
+def test_tail_helping_does_not_change_abstraction(benchmark):
+    """Swinging the lagging Tail is pure physical helping: φ(σ_o) is
+    invariant under it, which is why enq's LP stays at line 8."""
+
+    alg = get_algorithm("ms_lock_free_queue")
+
+    def check():
+        seen = []
+
+        def guarantee(before, after, tid):
+            q0 = alg.phi.of(before[0])["Q"]
+            q1 = alg.phi.of(after[0])["Q"]
+            tail_moved = before[0]["Tail"] != after[0]["Tail"]
+            heads_equal = before[0]["Head"] == after[0]["Head"]
+            if tail_moved and heads_equal and q0 != q1:
+                seen.append((before, after))
+                return False
+            return True
+
+        res = verify_instrumented(
+            alg.instrumented, alg.workload.menu, 2, 2, LIMITS,
+            guarantee=guarantee)
+        return res, seen
+
+    res, seen = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert res.ok and not seen
+
+
+def test_dglm_variant_verifies(benchmark):
+    """The DGLM queue — same spec, Head-first discipline — also passes."""
+
+    alg = get_algorithm("dglm_queue")
+    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    assert report.ok

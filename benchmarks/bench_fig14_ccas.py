@@ -1,0 +1,169 @@
+"""E8 — Fig. 14 / Sec. 6.3: CCAS (and RDCSS), helping × speculation.
+
+The hardest LP pattern in the paper: the LP of a descriptor-phase CCAS
+is the ``flag`` read inside *whichever helper's* ``Complete`` later wins
+the resolution cas — in another thread's code *and* future-dependent.
+Besides the full pipeline we check Sec. 6.3's specific observations:
+
+* "no thread could cheat by imagining another thread's help": whether or
+  not the environment helped, the commit at lines 15/17 never fails —
+  witnessed by the absence of aux-stuck failures across all
+  interleavings;
+* removing the ``a = d`` guard on the trylin (speculating after the
+  descriptor is gone) breaks the proof;
+* removing the trylin altogether (treating line 15 as a fixed LP) breaks
+  the proof: the resolution may be performed by a helper that read the
+  flag at a different time.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.ccas import (
+    CCAS_LOCALS,
+    DESC,
+    _cas_attempt,
+    _set_flag_body,
+    desc_ptr,
+    plain,
+)
+from repro.algorithms.specs import ccas_spec, pack2
+from repro.assertions.patterns import AbsIs, ThreadDone, commit_p, pattern
+from repro.instrument import (
+    Ghost,
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    ghost,
+    trylin,
+    verify_instrumented,
+)
+from repro.lang import BinOp, Const, MethodDef, Var, seq
+from repro.lang.ast import Load
+from repro.lang.builders import assign, atomic, eq, if_, mod, ret, while_
+from repro.semantics import Limits
+
+LIMITS = Limits(max_depth=6000, max_nodes=3_000_000)
+MENU = [("CCAS", pack2(0, 1)), ("CCAS", pack2(1, 2)), ("SetFlag", 0)]
+
+
+def test_ccas_full_pipeline(benchmark):
+    alg = get_algorithm("ccas")
+    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    print("\n" + report.summary())
+    assert report.ok
+
+
+def test_rdcss_full_pipeline(benchmark):
+    alg = get_algorithm("rdcss")
+    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    print("\n" + report.summary())
+    assert report.ok
+
+
+def _complete_variant(guarded_trylin: bool, speculate: bool):
+    """Complete(dd) with configurable instrumentation quality."""
+
+    if speculate:
+        if guarded_trylin:
+            read_flag = atomic(
+                assign("fb", "flag"),
+                ghost(Load("_did", DESC.addr("dd", "id"))),
+                if_(eq(Var("a"), desc_ptr("dd")), trylin(Var("_did"))))
+        else:
+            # wrong: speculate even when the descriptor is gone
+            read_flag = atomic(
+                assign("fb", "flag"),
+                ghost(Load("_did", DESC.addr("dd", "id"))),
+                trylin(Var("_did")))
+    else:
+        read_flag = assign("fb", "flag")
+
+    def resolve(target):
+        inner = [assign("s", "a"),
+                 if_(eq(Var("s"), desc_ptr("dd")),
+                     seq(assign("a", plain(target)),
+                         *((ghost(Load("_did", DESC.addr("dd", "id"))),
+                            commit(commit_p(pattern(
+                                ThreadDone(Var("_did"), Var("do_")),
+                                AbsIs("a", Var(target))))))
+                           if speculate else ())))]
+        return atomic(*inner)
+
+    return seq(
+        DESC.load("do_", "dd", "o"),
+        DESC.load("dn", "dd", "n"),
+        read_flag,
+        if_(eq("fb", 1), resolve("dn"), resolve("do_")),
+    )
+
+
+def _ccas_variant(guarded_trylin: bool, speculate: bool):
+    from repro.algorithms.specs import BASE
+
+    return seq(
+        assign("o", BinOp("/", Var("on"), Const(BASE))),
+        assign("n", mod("on", BASE)),
+        DESC.alloc("d", id="cid", o="o", n="n"),
+        _cas_attempt(True),
+        while_(eq(mod("r", 2), 1),
+               assign("dd", BinOp("/", Var("r"), Const(2))),
+               _complete_variant(guarded_trylin, speculate),
+               _cas_attempt(True)),
+        if_(eq(Var("r"), plain("o")),
+            seq(assign("dd", "d"),
+                _complete_variant(guarded_trylin, speculate))),
+        ret(BinOp("/", Var("r"), Const(2))),
+    )
+
+
+def _build(body):
+    return InstrumentedObject(
+        "ccas-variant",
+        {"CCAS": InstrumentedMethod("CCAS", "on", CCAS_LOCALS, body),
+         "SetFlag": InstrumentedMethod("SetFlag", "v", (),
+                                       _set_flag_body(True))},
+        ccas_spec(flag0=1, a0=0), {"a": 0, "flag": 1})
+
+
+def test_commit_never_fails_despite_interference(benchmark):
+    """Sec. 6.3: "whether the environment has helped it or not, the
+    commit at line 15 or 17 cannot fail" — across every interleaving the
+    verifier reports no aux-stuck commit."""
+
+    alg = get_algorithm("ccas")
+
+    def run():
+        return verify_instrumented(alg.instrumented, MENU, 2, 2, LIMITS)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.ok
+    assert not any(f.kind == "aux-stuck" for f in res.failures)
+
+
+def test_unguarded_trylin_fails(benchmark):
+    """Dropping the ``a = d`` condition speculates a CCAS that may have
+    already resolved — the proof collapses."""
+
+    iobj = _build(_ccas_variant(guarded_trylin=False, speculate=True))
+
+    def run():
+        return verify_instrumented(iobj, MENU, 2, 2, LIMITS)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not res.ok
+
+
+def test_no_speculation_fails(benchmark):
+    """Treating the resolution cas as a fixed LP (no trylin at line 13)
+    cannot work: the winning helper may have read the flag at a moment
+    whose value no longer holds at the cas."""
+
+    iobj = _build(_ccas_variant(guarded_trylin=True, speculate=False))
+
+    def run():
+        return verify_instrumented(iobj, MENU, 2, 2, LIMITS)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not res.ok
+    assert res.failures[0].kind in ("return", "aux-stuck")

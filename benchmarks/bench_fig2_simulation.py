@@ -1,0 +1,128 @@
+"""E3 — Fig. 2: the three simulation diagrams, checked as Def. 5 games.
+
+(a) Treiber push/pop: a simple weak simulation — the only Δ-transitions
+    are the verified thread's own ``linself`` at its fixed LP;
+(b) HSY pop under an *eliminating* environment: the pending thread pool
+    in action — an environment step fulfils the verified thread's
+    abstract operation (the checker closes the game under that rely);
+(c) pair-snapshot readPair: the forward-backward simulation — ``trylin``
+    branches kept until a ``commit`` selects the right one.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.hsy_stack import DESC, LOC_BASE
+from repro.instrument.state import delta_lin, singleton_delta
+from repro.memory import Store
+from repro.memory.heap import allocate
+from repro.semantics import Limits
+from repro.simulation import MethodSimulation
+
+
+def treiber_rely(phi):
+    def rely(sigma_o, delta):
+        out = []
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return out
+        if len(theta["Stk"]) < 2 and len(sigma_o) < 9:
+            for v in (1, 2):
+                s2, addr = allocate(sigma_o, (v, sigma_o["S"]))
+                s2 = s2.set("S", addr)
+                d2 = frozenset((u, th.set("Stk", (v,) + th["Stk"]))
+                               for u, th in delta)
+                out.append((s2, d2))
+        if sigma_o["S"] != 0:
+            head = sigma_o["S"]
+            s2 = sigma_o.set("S", sigma_o[head + 1])
+            d2 = frozenset((u, th.set("Stk", th["Stk"][1:]))
+                           for u, th in delta)
+            out.append((s2, d2))
+        return out
+
+    return rely
+
+
+@pytest.mark.parametrize("method,arg", [("push", 1), ("pop", 0)])
+def test_fig2a_treiber_simple_simulation(benchmark, method, arg):
+    alg = get_algorithm("treiber")
+    init = ((Store({"S": 0}), singleton_delta(Store(), alg.spec.initial)),)
+    sim = MethodSimulation(alg.instrumented.methods[method], alg.spec,
+                           tid=1, arg=arg, initial_shared=init,
+                           rely=treiber_rely(alg.phi),
+                           guarantee=alg.guarantee)
+    res = benchmark.pedantic(sim.check, rounds=1, iterations=1)
+    assert res.ok, res.summary()
+    assert "2(a)" in res.diagram()
+
+
+#: fixed scratch cells for the environment's push descriptor, so the
+#: eliminating rely stays finite.
+ENV_DESC = 90
+ENV_TID = 2
+SEED_VALUE = 3
+
+
+def hsy_pop_rely(spec):
+    """The environment of a passive HSY pop: it may eliminate with us.
+
+    When our descriptor sits in ``loc[1]``, an environment pusher may win
+    ``cas(&loc[1], p, p_env)`` — concretely swinging our slot to its PUSH
+    descriptor, abstractly executing its push immediately followed by
+    *our* pop (``lin(env); lin(me)`` from the environment's side): the
+    Fig. 2(b) step in which the higher-level transition belongs to the
+    pending thread pool, not to the thread being verified.
+    """
+
+    def rely(sigma_o, delta):
+        out = []
+        slot = LOC_BASE + 1
+        p = sigma_o.get(slot, 0)
+        if p == 0 or p == ENV_DESC:
+            return out
+        # our pop descriptor is deposited: the environment eliminates.
+        s2 = (sigma_o
+              .set(ENV_DESC + DESC.offset("id"), ENV_TID)
+              .set(ENV_DESC + DESC.offset("op"), 1)     # PUSH
+              .set(ENV_DESC + DESC.offset("arg"), SEED_VALUE)
+              .set(slot, ENV_DESC))
+        # abstractly: env pushes SEED_VALUE, then linearizes our pop.
+        pushed = frozenset(
+            (u, th.set("Stk", (SEED_VALUE,) + th["Stk"])) for u, th in delta)
+        d2 = delta_lin(spec, pushed, 1)
+        out.append((s2, d2))
+        return out
+
+    return rely
+
+
+def test_fig2b_hsy_pop_helped_by_environment(benchmark):
+    alg = get_algorithm("hsy_stack")
+    mem = dict(alg.impl.initial_memory)
+    for off in range(DESC.size):
+        mem[ENV_DESC + off] = 0
+    init = ((Store(mem), singleton_delta(Store(), alg.spec.initial)),)
+    sim = MethodSimulation(alg.instrumented.methods["pop"], alg.spec,
+                           tid=1, arg=0, initial_shared=init,
+                           rely=hsy_pop_rely(alg.spec),
+                           limits=Limits(6000, 2_000_000))
+    res = benchmark.pedantic(sim.check, rounds=1, iterations=1)
+    assert res.ok, res.summary()
+    # The environment's lin of our pop happened in the rely, and our own
+    # code uses lin(him) for the active path: the diagram is Fig. 2(b).
+    assert res.used_lin_other or not res.used_speculation
+
+
+def test_fig2c_snapshot_forward_backward(benchmark):
+    from repro.logic.fig12 import ARG, _rely
+
+    alg = get_algorithm("pair_snapshot")
+    init = ((Store(alg.impl.initial_memory),
+             singleton_delta(Store(), alg.spec.initial)),)
+    sim = MethodSimulation(alg.instrumented.methods["readPair"], alg.spec,
+                           tid=1, arg=ARG, initial_shared=init,
+                           rely=_rely, guarantee=alg.guarantee)
+    res = benchmark.pedantic(sim.check, rounds=1, iterations=1)
+    assert res.ok, res.summary()
+    assert "2(c)" in res.diagram()

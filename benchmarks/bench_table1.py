@@ -1,0 +1,37 @@
+"""E1 — regenerate Table 1, the paper's evaluation.
+
+One benchmark per row: the full verification pipeline (erasure,
+instrumented obligations with I and G, independent Definition-2 model
+check) at the row's standard workload.  The final case renders the
+complete table and cross-checks the feature matrix against the paper's.
+"""
+
+import pytest
+
+from repro.algorithms import algorithm_names
+from repro.table import (
+    Table1Row,
+    check_feature_matrix,
+    render_table1,
+    verify_row,
+)
+
+_rows = {}
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_table1_row(benchmark, name):
+    row = benchmark.pedantic(verify_row, args=(name,),
+                             rounds=1, iterations=1)
+    _rows[name] = row
+    assert row.verified, row.report.summary()
+    assert not row.report.instrumented.bounded
+    assert not row.report.linearizability.bounded
+
+
+def test_table1_render_and_feature_matrix():
+    assert check_feature_matrix() == []
+    rows = [_rows[n] for n in algorithm_names() if n in _rows]
+    if rows:
+        print("\n" + render_table1(rows))
+        assert all(r.verified for r in rows)

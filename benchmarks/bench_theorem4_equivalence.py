@@ -1,0 +1,100 @@
+"""E4 + E5 — Theorem 4: linearizability ⟺ contextual refinement.
+
+E4: the Sec. 2.4 counterexample fails *both* criteria (and the naive
+per-thread proof attempt fails operationally).  E5: on a spread of
+objects — linearizable and broken — the two bounded checkers always
+agree, instance-checking the equivalence theorem in both directions.
+"""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import Workload
+from repro.algorithms.counter_nonatomic import (
+    atomic_counter,
+    counter_phi,
+    racy_counter,
+)
+from repro.algorithms.specs import counter_spec
+from repro.refinement import check_equivalence_instance
+from repro.semantics import Limits
+
+LIMITS = Limits(max_depth=4000, max_nodes=2_000_000)
+
+
+def test_e4_counterexample_fails_both_ways(benchmark):
+    res = benchmark.pedantic(
+        check_equivalence_instance,
+        args=(racy_counter(), counter_spec(), [("inc", 0)]),
+        kwargs=dict(threads=2, ops_per_thread=1, limits=LIMITS,
+                    phi=counter_phi()),
+        rounds=1, iterations=1)
+    assert not res.linearizable.ok
+    assert not res.refines.ok
+    assert res.consistent
+
+
+def test_e4_atomic_counter_passes_both_ways(benchmark):
+    res = benchmark.pedantic(
+        check_equivalence_instance,
+        args=(atomic_counter(), counter_spec(), [("inc", 0)]),
+        kwargs=dict(threads=2, ops_per_thread=2, limits=LIMITS,
+                    phi=counter_phi()),
+        rounds=1, iterations=1)
+    assert res.linearizable.ok and res.refines.ok and res.consistent
+
+
+#: linearizable algorithms to instance-check the theorem on (small
+#: workloads: refinement explores the printing clients on both sides).
+E5_CASES = {
+    "treiber": (2, 1),
+    "ms_two_lock_queue": (2, 1),
+    "ms_lock_free_queue": (2, 1),
+    "pair_snapshot": (2, 1),
+    "ccas": (2, 1),
+    "lock_coupling_list": (2, 1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(E5_CASES))
+def test_e5_theorem4_agreement(benchmark, name):
+    alg = get_algorithm(name)
+    threads, ops = E5_CASES[name]
+    res = benchmark.pedantic(
+        check_equivalence_instance,
+        args=(alg.impl, alg.spec, alg.workload.menu),
+        kwargs=dict(threads=threads, ops_per_thread=ops, limits=LIMITS,
+                    phi=alg.phi),
+        rounds=1, iterations=1)
+    assert res.consistent, res.summary()
+    assert res.linearizable.ok and res.refines.ok
+
+
+def test_e5_broken_variant_agreement(benchmark):
+    """A seeded bug flips *both* verdicts together."""
+
+    from repro.algorithms.specs import stack_spec
+    from repro.algorithms.treiber import NODE, _push_body
+    from repro.lang import MethodDef, ObjectImpl, seq
+    from repro.lang.builders import assign, if_, eq, ret, while_
+
+    # pop without cas: read head, then unlink non-atomically.
+    racy_pop = MethodDef(
+        "pop", "u", ("t", "n", "v", "b"),
+        seq(assign("t", "S"),
+            if_(eq("t", 0),
+                assign("v", -1),
+                seq(NODE.load("v", "t", "val"),
+                    NODE.load("n", "t", "next"),
+                    assign("S", "n"))),
+            ret("v")))
+    impl = ObjectImpl(
+        {"push": MethodDef("push", "v", ("x", "t", "b"), _push_body(False)),
+         "pop": racy_pop}, {"S": 0}, name="racy-stack")
+    res = benchmark.pedantic(
+        check_equivalence_instance,
+        args=(impl, stack_spec(), [("push", 1), ("push", 2), ("pop", 0)]),
+        kwargs=dict(threads=2, ops_per_thread=2, limits=LIMITS),
+        rounds=1, iterations=1)
+    assert res.consistent, res.summary()
+    assert not res.linearizable.ok and not res.refines.ok

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Verification runs are deterministic and expensive, so every benchmark
+uses a single round (``pedantic(rounds=1, iterations=1)``) — the timings
+reported are per-pipeline wall-clock costs, not micro-benchmarks.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Future-dependent LPs: the pair snapshot and try-commit (Sec. 2.3).
+
+``readPair``'s LP is the second read — but only if the later validation
+succeeds.  The paper resolves the uncertainty with speculation:
+``trylinself`` keeps *both* possibilities in Δ, and ``commit`` selects
+the right branch once the validation's outcome is known.
+
+This example (1) verifies the algorithm, (2) checks the paper's Fig. 12
+proof outline rule by rule, and (3) replays the speculation set through
+one successful and one failing validation.
+"""
+
+from repro import Limits, get_algorithm
+from repro.algorithms.specs import pack2, unpack2
+from repro.assertions.patterns import (
+    ThreadDone,
+    ThreadIs,
+    commit_filter,
+    commit_p,
+    pattern,
+)
+from repro.instrument.state import (
+    delta_add_thread,
+    delta_trylin,
+    op_of,
+    singleton_delta,
+)
+from repro.logic.fig12 import check_fig12
+from repro.memory import Store
+
+
+def show_delta(delta, label):
+    print(f"  {label}:")
+    for pending, theta in sorted(delta, key=repr):
+        ops = {t: op for t, op in pending.items()}
+        print(f"    U = {ops}   m = {theta['m']}")
+
+
+def replay_speculation():
+    alg = get_algorithm("pair_snapshot")
+    spec = alg.spec
+    arg = pack2(0, 1)
+
+    print("Thread 1 invokes readPair(0, 1) on m = (0, 0):")
+    delta = singleton_delta(Store(), spec.initial)
+    delta = delta_add_thread(delta, 1, op_of("readPair", arg))
+    show_delta(delta, "Δ after the invocation")
+
+    print("\nAt the second read (line 5') the thread speculates with "
+          "trylinself:")
+    delta = delta_trylin(spec, delta, 1)
+    show_delta(delta, "Δ now holds both guesses")
+
+    print("\nCase A — the validation succeeds: commit(cid ↣ (end,(0,0)))")
+    outcome = commit_filter(
+        commit_p(pattern(ThreadDone(1, pack2(0, 0)))), delta,
+        lambda name: 0)
+    show_delta(outcome.kept, "Δ after the commit")
+    a, b = unpack2(pack2(0, 0))
+    print(f"  readPair returns ({a}, {b}) — consistent snapshot.")
+
+    print("\nCase B — the validation fails: the thread keeps the "
+          "unfinished speculation")
+    outcome_b = commit_filter(
+        commit_p(pattern(ThreadIs(1, "readPair"))), delta,
+        lambda name: 0)
+    show_delta(outcome_b.kept, "Δ committed back to the pending branch")
+    print("  ... and retries the loop; no abstract step was wasted.")
+
+
+def main():
+    alg = get_algorithm("pair_snapshot")
+    print("=== verifying the pair snapshot ===")
+    report = alg.verify(limits=Limits(6000, 3_000_000))
+    print(report.summary())
+    assert report.ok
+
+    print("\n=== checking the Fig. 12 proof outline ===")
+    outline_report = check_fig12()
+    print(outline_report.summary())
+    for result in outline_report.results:
+        print(" ", result)
+    assert outline_report.ok
+
+    print("\n=== the try-commit mechanism, replayed ===")
+    replay_speculation()
+
+
+if __name__ == "__main__":
+    main()

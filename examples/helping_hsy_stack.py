@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Helping: the HSY elimination stack and the pending thread pool.
+
+Sec. 2.2 of the paper: when a push and a pop eliminate each other, the
+*active* thread's cas linearizes **both** operations — it executes
+``lin(cid); lin(him)``, fulfilling the partner's abstract operation from
+the pending thread pool ``U``.  The passive partner later discovers its
+operation is already finished.
+
+This example verifies the HSY stack and then *shows* the helping: it
+replays one elimination scenario step by step, printing the pending
+thread pool as the active thread linearizes its partner.
+"""
+
+from repro import Limits, get_algorithm
+from repro.instrument import InstrumentedRunner
+from repro.instrument.state import (
+    delta_add_thread,
+    delta_lin,
+    op_of,
+    singleton_delta,
+)
+from repro.memory import Store
+
+
+def show_delta(delta, label):
+    print(f"  {label}:")
+    for pending, theta in sorted(delta, key=repr):
+        ops = {t: op for t, op in pending.items()}
+        print(f"    U = {ops}   Stk = {theta['Stk']}")
+
+
+def replay_elimination():
+    """The abstract side of one elimination, exactly as lin(cid);lin(him)
+    executes it inside the successful cas (Fig. 1b line 10')."""
+
+    alg = get_algorithm("hsy_stack")
+    spec = alg.spec
+    delta = singleton_delta(Store(), spec.initial)
+    print("Thread 1 invokes push(7); thread 2 invokes pop():")
+    delta = delta_add_thread(delta, 1, op_of("push", 7))
+    delta = delta_add_thread(delta, 2, op_of("pop", 0))
+    show_delta(delta, "pending thread pool after both invocations")
+
+    print("\nThread 1 (the active eliminator) wins cas(&loc[2], q, p)")
+    print("and executes lin(1); lin(2) in the same atomic step:")
+    delta = delta_lin(spec, delta, 1)   # lin(cid): PUSH(7)
+    show_delta(delta, "after lin(1) — the push took effect")
+    delta = delta_lin(spec, delta, 2)   # lin(him): POP -> 7
+    show_delta(delta, "after lin(2) — thread 2's pop was helped")
+    print("\nThread 2 never touched the abstract stack itself: its pop")
+    print("was linearized by thread 1, immediately after the push —")
+    print("the stack is unchanged and thread 2 will return 7.")
+
+
+def main():
+    alg = get_algorithm("hsy_stack")
+    print("=== verifying the HSY elimination stack ===")
+    report = alg.verify(limits=Limits(6000, 3_000_000))
+    print(report.summary())
+    assert report.ok
+
+    print("\n=== the helping mechanism, replayed abstractly ===")
+    replay_elimination()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — an executable reproduction of Liang & Feng, *Modular
+Verification of Linearizability with Non-Fixed Linearization Points*
+(PLDI 2013).
+
+The package provides, end to end:
+
+* the paper's concurrent object language and operational semantics
+  (:mod:`repro.lang`, :mod:`repro.semantics`);
+* linearizability (Defs. 1-2) and contextual refinement (Def. 3) as
+  bounded checkers, with the Theorem-4 equivalence harness
+  (:mod:`repro.history`, :mod:`repro.refinement`);
+* the instrumented language — speculation sets Δ, pending thread pools,
+  ``linself`` / ``lin`` / ``trylin`` / ``commit`` — with an exhaustive
+  verification runner (:mod:`repro.instrument`);
+* the relational rely-guarantee logic as a proof-outline checker, the
+  Fig. 12 proof, and the Sec. 2.1 basic-logic ablation
+  (:mod:`repro.logic`, :mod:`repro.assertions`);
+* the Definition-5 thread-local simulation (:mod:`repro.simulation`);
+* all 12 algorithms of Table 1 (:mod:`repro.algorithms`) and the table's
+  regeneration (:mod:`repro.table`).
+
+Quick start::
+
+    from repro.algorithms import get_algorithm
+
+    report = get_algorithm("treiber").verify()
+    print(report.summary())
+"""
+
+from .algorithms import algorithm_names, all_algorithms, get_algorithm
+from .algorithms.base import Algorithm, VerificationReport, Workload
+from .history import (
+    check_object_linearizable,
+    find_linearization,
+    is_linearizable_history,
+)
+from .instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    ghost,
+    lin,
+    linself,
+    trylin,
+    trylin_readonly,
+    trylinself,
+    verify_instrumented,
+)
+from .lang import MethodDef, ObjectImpl, Program
+from .refinement import (
+    check_contextual_refinement,
+    check_equivalence_instance,
+)
+from .semantics import Limits, explore, mgc_program
+from .spec import MethodSpec, OSpec, RefMap, abs_obj, deterministic
+from .table import build_table1, render_table1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm", "VerificationReport", "Workload",
+    "algorithm_names", "all_algorithms", "get_algorithm",
+    "check_object_linearizable", "find_linearization",
+    "is_linearizable_history",
+    "InstrumentedMethod", "InstrumentedObject", "commit", "ghost", "lin",
+    "linself", "trylin", "trylin_readonly", "trylinself",
+    "verify_instrumented",
+    "MethodDef", "ObjectImpl", "Program",
+    "check_contextual_refinement", "check_equivalence_instance",
+    "Limits", "explore", "mgc_program",
+    "MethodSpec", "OSpec", "RefMap", "abs_obj", "deterministic",
+    "build_table1", "render_table1",
+    "__version__",
+]

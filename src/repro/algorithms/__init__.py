@@ -1,0 +1,27 @@
+"""The verified algorithms of Table 1, plus the Sec. 2.4 counterexample."""
+
+from .base import Algorithm, VerificationReport, Workload
+from .registry import algorithm_names, all_algorithms, get_algorithm
+from .specs import (
+    BASE,
+    EMPTY,
+    ccas_spec,
+    counter_spec,
+    pack2,
+    pack3,
+    queue_spec,
+    rdcss_spec,
+    set_spec,
+    snapshot_spec,
+    stack_spec,
+    unpack2,
+    unpack3,
+)
+
+__all__ = [
+    "Algorithm", "VerificationReport", "Workload",
+    "algorithm_names", "all_algorithms", "get_algorithm",
+    "BASE", "EMPTY", "ccas_spec", "counter_spec", "pack2", "pack3",
+    "queue_spec", "rdcss_spec", "set_spec", "snapshot_spec", "stack_spec",
+    "unpack2", "unpack3",
+]

@@ -1,0 +1,134 @@
+"""Common packaging for the verified algorithms of Table 1.
+
+Each algorithm module exposes a ``build()`` function returning an
+:class:`Algorithm`: the plain concrete implementation, the specification
+Γ, the refinement mapping φ, the instrumented implementation (auxiliary
+commands at the LPs), the linking invariant ``I`` (checked on every
+reachable shared state), an optional guarantee ``G`` (checked on every
+atomic step), the Table-1 feature flags, and the default bounded-checking
+workload.
+
+``Algorithm.verify()`` runs the full pipeline used to regenerate Table 1:
+
+1. ``Er(C̃) = C`` — the instrumentation erases to the original code;
+2. the instrumented runner — no stuck auxiliary commands, consistent
+   returns, ``I`` and ``G`` hold (Theorem 8's obligations, bounded);
+3. independent model checking of Definition 2 via the speculation
+   monitor (the ground truth the logic is sound against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..history.object_lin import ObjectLinResult, check_object_linearizable
+from ..instrument.runner import (
+    Guarantee,
+    InstrumentedObject,
+    InstrumentedRunResult,
+    Invariant,
+    verify_instrumented,
+)
+from ..lang.program import ObjectImpl
+from ..semantics.mgc import CallMenu
+from ..semantics.scheduler import Limits
+from ..spec.gamma import OSpec
+from ..spec.refmap import RefMap
+
+#: Default exploration bounds for the Table-1 pipeline.
+DEFAULT_LIMITS = Limits(max_depth=6000, max_nodes=3_000_000)
+
+
+@dataclass
+class Workload:
+    """A bounded most-general-client workload."""
+
+    menu: CallMenu
+    threads: int = 2
+    ops_per_thread: int = 2
+
+    def describe(self) -> str:
+        calls = ", ".join(f"{m}({a})" for m, a in self.menu)
+        return (f"{self.threads} threads x {self.ops_per_thread} ops "
+                f"from {{{calls}}}")
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of the full per-algorithm pipeline."""
+
+    name: str
+    erasure_ok: bool
+    erasure_problems: Tuple[str, ...]
+    instrumented: InstrumentedRunResult
+    linearizability: ObjectLinResult
+
+    @property
+    def ok(self) -> bool:
+        return (self.erasure_ok and self.instrumented.ok
+                and self.linearizability.ok)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.name}:",
+            f"  erasure Er(C~)=C : {'ok' if self.erasure_ok else 'FAILED'}",
+            f"  instrumented     : {self.instrumented.summary()}",
+            f"  linearizability  : {self.linearizability.summary()}",
+        ]
+        return "\n".join(parts)
+
+
+@dataclass
+class Algorithm:
+    """One row of Table 1."""
+
+    name: str
+    display_name: str
+    citation: str
+    helping: bool
+    future_lp: bool
+    java_pkg: bool
+    hs_book: bool
+    description: str
+    impl: ObjectImpl
+    spec: OSpec
+    phi: RefMap
+    instrumented: InstrumentedObject
+    workload: Workload
+    invariant: Optional[Invariant] = None
+    guarantee: Optional[Guarantee] = None
+    limits: Limits = field(default_factory=lambda: DEFAULT_LIMITS)
+    lp_notes: str = ""
+
+    def check_erasure(self) -> Tuple[str, ...]:
+        return tuple(self.instrumented.check_erasure_against(self.impl))
+
+    def verify_instrumentation(self,
+                               workload: Optional[Workload] = None,
+                               limits: Optional[Limits] = None
+                               ) -> InstrumentedRunResult:
+        w = workload or self.workload
+        return verify_instrumented(
+            self.instrumented, w.menu, w.threads, w.ops_per_thread,
+            limits or self.limits, self.invariant, self.guarantee)
+
+    def check_linearizability(self,
+                              workload: Optional[Workload] = None,
+                              limits: Optional[Limits] = None,
+                              definitional: bool = False) -> ObjectLinResult:
+        w = workload or self.workload
+        return check_object_linearizable(
+            self.impl, self.spec, w.menu, w.threads, w.ops_per_thread,
+            limits or self.limits, phi=self.phi, definitional=definitional)
+
+    def verify(self, workload: Optional[Workload] = None,
+               limits: Optional[Limits] = None) -> VerificationReport:
+        problems = self.check_erasure()
+        return VerificationReport(
+            name=self.name,
+            erasure_ok=not problems,
+            erasure_problems=problems,
+            instrumented=self.verify_instrumentation(workload, limits),
+            linearizability=self.check_linearizability(workload, limits),
+        )

@@ -1,0 +1,235 @@
+"""Conditional compare-and-swap (CCAS) [31] — Fig. 14 and Sec. 6.3.
+
+The object is an integer ``a`` plus a boolean ``flag``.  ``CCAS(o, n)``
+atomically sets ``a := n`` iff ``flag`` holds and ``a = o``, always
+returning the old ``a``.  ``SetFlag(b)`` writes the flag directly.
+
+``a`` physically stores either a plain value ``v`` (encoded ``2v``) or a
+pointer to an operation *descriptor* ``(id, o, n)`` (encoded ``2d + 1``;
+``IsDesc`` = odd).  A thread that finds a descriptor *helps* complete
+that operation before retrying its own.
+
+LPs (Sec. 6.3):
+
+* a failed ``CCAS`` linearizes at the cas returning a plain value ≠ o
+  (lines 4/7, ``linself``);
+* otherwise the LP is inside ``Complete`` — at the ``flag`` read (line
+  13) of whichever helper subsequently wins the resolution cas: a
+  future-dependent LP in *another thread's* code.  Instrumented with
+  ``trylin(d.id)`` at the flag read (when ``a`` still holds ``d``) and a
+  ``commit(d.id ↣ (end, d.o) * a ⤇ ...)`` at the successful resolution
+  (lines 15/17).
+"""
+
+from __future__ import annotations
+
+from ..assertions.patterns import AbsIs, ThreadDone, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    ghost,
+    linself,
+    trylin,
+    commit,
+)
+from ..lang import BinOp, Const, MethodDef, ObjectImpl, Var, seq
+from ..lang.ast import Load
+from ..lang.builders import (
+    And,
+    Record,
+    add as eplus,
+    assign,
+    atomic,
+    eq,
+    if_,
+    mod,
+    mul,
+    neq,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import BASE, ccas_spec, pack2
+
+DESC = Record("desc", "id", "o", "n")
+
+
+def plain(v):
+    """Encode a plain value: ``2v``."""
+
+    return mul(v, 2)
+
+
+def desc_ptr(d):
+    """Encode a descriptor pointer: ``2d + 1``."""
+
+    return eplus(mul(d, 2), 1)
+
+
+def _cas_attempt(instrument: bool):
+    """``<r := cas(&a, o, d)>`` with the failed-CCAS LP (lines 4/7)."""
+
+    fail_lp = ((if_(And(neq(Var("r"), plain("o")),
+                        eq(mod("r", 2), 0)),
+                    linself()),) if instrument else ())
+    return atomic(
+        assign("r", "a"),
+        if_(eq(Var("r"), plain("o")), assign("a", desc_ptr("d"))),
+        *fail_lp,
+    )
+
+
+def _complete(instrument: bool):
+    """Inline ``Complete(dd)`` (Fig. 14 lines 11-18), ``dd`` = descriptor."""
+
+    read_flag = [assign("fb", "flag")]
+    if instrument:
+        read_flag = [atomic(
+            assign("fb", "flag"),
+            ghost(Load("_did", DESC.addr("dd", "id"))),
+            if_(eq(Var("a"), desc_ptr("dd")), trylin(Var("_did"))),
+        )]
+    resolve_true = [atomic(
+        assign("s", "a"),
+        if_(eq(Var("s"), desc_ptr("dd")), assign("a", plain("dn"))),
+    )]
+    resolve_false = [atomic(
+        assign("s", "a"),
+        if_(eq(Var("s"), desc_ptr("dd")), assign("a", plain("do_"))),
+    )]
+    if instrument:
+        resolve_true = [atomic(
+            assign("s", "a"),
+            if_(eq(Var("s"), desc_ptr("dd")),
+                seq(assign("a", plain("dn")),
+                    ghost(Load("_did", DESC.addr("dd", "id"))),
+                    commit(commit_p(pattern(
+                        ThreadDone(Var("_did"), Var("do_")),
+                        AbsIs("a", Var("dn"))))))),
+        )]
+        resolve_false = [atomic(
+            assign("s", "a"),
+            if_(eq(Var("s"), desc_ptr("dd")),
+                seq(assign("a", plain("do_")),
+                    ghost(Load("_did", DESC.addr("dd", "id"))),
+                    commit(commit_p(pattern(
+                        ThreadDone(Var("_did"), Var("do_")),
+                        AbsIs("a", Var("do_"))))))),
+        )]
+    return seq(
+        DESC.load("do_", "dd", "o"),
+        DESC.load("dn", "dd", "n"),
+        *read_flag,
+        if_(eq("fb", 1), seq(*resolve_true), seq(*resolve_false)),
+    )
+
+
+def _ccas_body(instrument: bool):
+    return seq(
+        assign("o", BinOp("/", Var("on"), Const(BASE))),
+        assign("n", mod("on", BASE)),
+        DESC.alloc("d", id="cid", o="o", n="n"),
+        _cas_attempt(instrument),
+        while_(eq(mod("r", 2), 1),
+               assign("dd", BinOp("/", Var("r"), Const(2))),
+               _complete(instrument),
+               _cas_attempt(instrument)),
+        if_(eq(Var("r"), plain("o")),
+            seq(assign("dd", "d"), _complete(instrument))),
+        ret(BinOp("/", Var("r"), Const(2))),
+    )
+
+
+def _set_flag_body(instrument: bool):
+    write = assign("flag", "v")
+    if instrument:
+        write = atomic(write, linself())
+    return seq(write, ret(0))
+
+
+def ccas_phi() -> RefMap:
+    def walk(sigma: Store):
+        if "a" not in sigma or "flag" not in sigma:
+            return None
+        a = sigma["a"]
+        if a % 2 == 0:
+            abs_a = a // 2
+        else:
+            d = a // 2
+            if d + DESC.offset("o") not in sigma:
+                return None
+            abs_a = sigma[d + DESC.offset("o")]  # unresolved: still o
+        return abs_obj(a=abs_a, flag=sigma["flag"])
+
+    return RefMap("ccas", walk)
+
+
+CCAS_LOCALS = ("o", "n", "d", "r", "dd", "fb", "s", "do_", "dn")
+
+
+def build() -> Algorithm:
+    spec = ccas_spec(flag0=1, a0=0)
+    phi = ccas_phi()
+    mem = {"a": 0, "flag": 1}
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "CCAS": cls("CCAS", "on", CCAS_LOCALS, _ccas_body(instrument)),
+            "SetFlag": cls("SetFlag", "v", (), _set_flag_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="ccas")
+    instrumented = InstrumentedObject("ccas", methods(True), spec, mem,
+                                      phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "a holds a dangling descriptor"
+        # While a descriptor is being helped, Δ carries both resolution
+        # branches; at least one speculation must track φ.
+        if not any(th["a"] == theta["a"] and th["flag"] == theta["flag"]
+                   for _, th in delta):
+            return f"no speculation matches φ(σ_o) = {dict(theta)!r}"
+        return True
+
+    def guarantee(before, after, tid):
+        """Structural actions on the shared cell (the paper's R/G of
+        Sec. 6.3): install a descriptor for the current value, resolve a
+        descriptor to its o or n, or write the flag."""
+
+        s0, s1 = before[0], after[0]
+        a0, a1 = s0["a"], s1["a"]
+        if s0["flag"] != s1["flag"]:
+            return a0 == a1  # SetFlag touches only the flag
+        if a0 == a1:
+            return True
+        if a0 % 2 == 0 and a1 % 2 == 1:
+            d = a1 // 2
+            return s1.get(d + DESC.offset("o")) == a0 // 2
+        if a0 % 2 == 1 and a1 % 2 == 0:
+            d = a0 // 2
+            return a1 // 2 in (s1.get(d + DESC.offset("o")),
+                               s1.get(d + DESC.offset("n")))
+        return False
+
+    return Algorithm(
+        name="ccas",
+        display_name="CCAS",
+        citation="[31] Turon et al. 2013 (simplified RDCSS)",
+        helping=True, future_lp=True, java_pkg=False, hs_book=False,
+        description="Conditional cas via operation descriptors; any "
+                    "thread helps complete a pending CCAS it encounters.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("CCAS", pack2(0, 1)), ("CCAS", pack2(1, 2)),
+                           ("SetFlag", 0)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="failed CCAS: linself at the cas returning a plain "
+                 "value != o; otherwise trylin(d.id) at Complete's flag "
+                 "read (line 13) and commit at the winning resolution "
+                 "cas (lines 15/17).",
+    )

@@ -1,0 +1,52 @@
+"""Shared building blocks for the algorithm library: spin locks and
+linked-list refinement-mapping walkers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..lang.ast import Stmt, seq
+from ..lang.builders import ExprLike, assign, cas_cell, cas_var, eq, store, while_
+from ..memory.store import Store
+
+
+def lock_var(var: str, flag: str = "lb") -> Stmt:
+    """Spin until ``cas(&var, 0, 1)`` succeeds (``flag`` is a scratch local)."""
+
+    return seq(assign(flag, 0),
+               while_(eq(flag, 0), cas_var(flag, var, 0, 1)))
+
+
+def unlock_var(var: str) -> Stmt:
+    return assign(var, 0)
+
+
+def lock_cell(addr: ExprLike, flag: str = "lb") -> Stmt:
+    """Spin lock on a heap cell (per-node locks in the list algorithms)."""
+
+    return seq(assign(flag, 0),
+               while_(eq(flag, 0), cas_cell(flag, addr, 0, 1)))
+
+
+def unlock_cell(addr: ExprLike) -> Stmt:
+    return store(addr, 0)
+
+
+def walk_list(sigma: Store, head_ptr: int, next_offset: int,
+              val_offset: int = 0) -> Optional[Tuple[int, ...]]:
+    """Collect node values following ``next`` pointers; ``None`` if the
+    structure is malformed (dangling pointer or cycle)."""
+
+    values = []
+    seen = set()
+    ptr = head_ptr
+    while ptr != 0:
+        if ptr in seen:
+            return None
+        val_addr, next_addr = ptr + val_offset, ptr + next_offset
+        if val_addr not in sigma or next_addr not in sigma:
+            return None
+        seen.add(ptr)
+        values.append(sigma[val_addr])
+        ptr = sigma[next_addr]
+    return tuple(values)

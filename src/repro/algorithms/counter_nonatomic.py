@@ -1,0 +1,66 @@
+"""The Sec. 2.4 counterexample: a non-atomic counter.
+
+``C: local t; t := x; x := t + 1`` paired with the atomic increment
+``γ: x++``.  The paper uses it to show that a *non-compositional* simple
+simulation can relate ``C`` to ``γ`` even though ``C`` is **not**
+linearizable w.r.t. ``γ``.  We make the violation observable by returning
+the incremented value (two racing increments can both return 1).
+
+This module is not a Table-1 row; it feeds the Theorem-4 equivalence
+bench (E4/E5) and the examples.
+"""
+
+from __future__ import annotations
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, linself
+from ..lang import MethodDef, ObjectImpl, seq
+from ..lang.builders import add, assign, atomic, ret
+from ..spec.absobj import abs_obj
+from ..spec.refmap import RefMap
+from .specs import counter_spec
+
+
+def counter_phi() -> RefMap:
+    return RefMap("counter", lambda sigma: abs_obj(x=sigma["x"])
+                  if "x" in sigma else None)
+
+
+def racy_counter() -> ObjectImpl:
+    """``inc() { t := x; x := t + 1; return t + 1 }`` — not atomic."""
+
+    inc = MethodDef("inc", "u", ("t",),
+                    seq(assign("t", "x"),
+                        assign("x", add("t", 1)),
+                        ret(add("t", 1))))
+    return ObjectImpl({"inc": inc}, {"x": 0}, name="racy-counter")
+
+
+def atomic_counter() -> ObjectImpl:
+    """The correct implementation: the increment in one atomic block."""
+
+    inc = MethodDef("inc", "u", ("t",),
+                    seq(atomic(assign("t", "x"), assign("x", add("t", 1))),
+                        ret(add("t", 1))))
+    return ObjectImpl({"inc": inc}, {"x": 0}, name="atomic-counter")
+
+
+def instrumented_racy_counter() -> InstrumentedObject:
+    """The racy counter with ``linself`` at the write — every candidate
+    LP placement fails, which is the point."""
+
+    inc = InstrumentedMethod(
+        "inc", "u", ("t",),
+        seq(assign("t", "x"),
+            atomic(assign("x", add("t", 1)), linself()),
+            ret(add("t", 1))))
+    return InstrumentedObject("racy-counter", {"inc": inc}, counter_spec(),
+                              {"x": 0}, phi=counter_phi())
+
+
+def instrumented_atomic_counter() -> InstrumentedObject:
+    inc = InstrumentedMethod(
+        "inc", "u", ("t",),
+        seq(atomic(assign("t", "x"), assign("x", add("t", 1)), linself()),
+            ret(add("t", 1))))
+    return InstrumentedObject("atomic-counter", {"inc": inc},
+                              counter_spec(), {"x": 0}, phi=counter_phi())

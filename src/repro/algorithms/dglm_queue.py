@@ -1,0 +1,170 @@
+"""The Doherty-Groves-Luchangco-Moir queue [6].
+
+A variant of the MS lock-free queue in which ``deq`` swings ``Head``
+*before* looking at ``Tail``, and helps ``Tail`` forward only afterwards
+(so ``Head`` may transiently overtake ``Tail``).  Table 1 classifies it
+as future-dependent-LP only: the empty-``deq`` LP is the read
+``n := h.next`` (valid only if the subsequent ``h = Head`` check
+succeeds), handled with ``trylinself``/``commit`` exactly like the MS
+queue's empty case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..assertions.patterns import ThreadDone, ThreadIs, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    linself,
+    trylinself,
+)
+from ..lang import MethodDef, ObjectImpl, Var, seq
+from ..lang.builders import (
+    Record,
+    assign,
+    atomic,
+    cas_cell,
+    cas_var,
+    eq,
+    if_,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import walk_list
+from .specs import EMPTY, queue_spec
+
+NODE = Record("node", "val", "next")
+
+SENTINEL = 40
+
+
+def _enq_body(instrument: bool):
+    aux = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        NODE.alloc("x", val="v"),
+        assign("done", 0),
+        while_(eq("done", 0),
+               assign("t", "Tail"),
+               NODE.load("s", "t", "next"),
+               if_(eq("t", "Tail"),
+                   if_(eq("s", 0),
+                       seq(cas_cell("b", NODE.addr("t", "next"), "s", "x",
+                                    *aux),
+                           if_(eq("b", 1),
+                               seq(cas_var("b2", "Tail", "t", "x"),
+                                   assign("done", 1)))),
+                       cas_var("b2", "Tail", "t", "s")))),
+        ret(0),
+    )
+
+
+def _deq_body(instrument: bool):
+    speculate = (if_(eq("n", 0), trylinself()),) if instrument else ()
+    commit_empty = ((commit(commit_p(pattern(
+        ThreadDone(Var("cid"), EMPTY)))),) if instrument else ())
+    commit_restart = ((if_(eq("done", 0),
+                           commit(commit_p(pattern(
+                               ThreadIs(Var("cid"), "deq"))))),)
+                      if instrument else ())
+    lp_cas = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        assign("done", 0), assign("res", EMPTY),
+        while_(eq("done", 0),
+               assign("h", "Head"),
+               atomic(NODE.load("n", "h", "next"), *speculate),
+               if_(eq("h", "Head"),
+                   if_(eq("n", 0),
+                       seq(*commit_empty,
+                           assign("res", EMPTY),
+                           assign("done", 1)),
+                       seq(NODE.load("res2", "n", "val"),
+                           cas_var("b", "Head", "h", "n", *lp_cas),
+                           if_(eq("b", 1),
+                               seq(assign("res", "res2"),
+                                   assign("done", 1),
+                                   # Help: bring the lagging Tail forward
+                                   # after Head has passed it.
+                                   assign("t", "Tail"),
+                                   if_(eq("h", "t"),
+                                       cas_var("b2", "Tail", "t", "n"))))))),
+               *commit_restart),
+        ret("res"),
+    )
+
+
+def queue_phi() -> RefMap:
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        if "Head" not in sigma:
+            return None
+        values = walk_list(sigma, sigma["Head"], NODE.offset("next"))
+        if values is None:
+            return None
+        return abs_obj(Q=values[1:])
+
+    return RefMap("dglm-queue", walk)
+
+
+def _initial_memory():
+    return {"Head": SENTINEL, "Tail": SENTINEL,
+            SENTINEL: 0, SENTINEL + 1: 0}
+
+
+ENQ_LOCALS = ("x", "t", "s", "b", "b2", "done")
+DEQ_LOCALS = ("h", "t", "n", "b", "b2", "res", "res2", "done")
+
+
+def build() -> Algorithm:
+    spec = queue_spec()
+    phi = queue_phi()
+    mem = _initial_memory()
+
+    impl = ObjectImpl(
+        {"enq": MethodDef("enq", "v", ENQ_LOCALS, _enq_body(False)),
+         "deq": MethodDef("deq", "u", DEQ_LOCALS, _deq_body(False))},
+        mem, name="dglm-queue")
+
+    instrumented = InstrumentedObject(
+        "dglm-queue",
+        {"enq": InstrumentedMethod("enq", "v", ENQ_LOCALS, _enq_body(True)),
+         "deq": InstrumentedMethod("deq", "u", DEQ_LOCALS, _deq_body(True))},
+        spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "queue list malformed"
+        for _, th in delta:
+            if th["Q"] != theta["Q"]:
+                return (f"speculative queue {th['Q']!r} != φ(σ_o) "
+                        f"= {theta['Q']!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        q0 = phi.of(before[0])
+        q1 = phi.of(after[0])
+        if q0 is None or q1 is None:
+            return False
+        a, b = q0["Q"], q1["Q"]
+        return b == a or b[:-1] == a or b == a[1:]
+
+    return Algorithm(
+        name="dglm_queue",
+        display_name="DGLM queue",
+        citation="[6] Doherty, Groves, Luchangco & Moir 2004",
+        helping=False, future_lp=True, java_pkg=False, hs_book=False,
+        description="MS-queue variant where deq swings Head first and "
+                    "helps Tail afterwards (Head may pass Tail).",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("enq", 1), ("enq", 2), ("deq", 0)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="enq: successful cas(&t.next); deq non-empty: successful "
+                 "cas(&Head); deq empty: trylinself at n := h.next, commit "
+                 "before return EMPTY, commit(cid ↣ DEQ) on restart.",
+    )

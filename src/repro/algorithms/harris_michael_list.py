@@ -1,0 +1,275 @@
+"""Harris-Michael lock-free list set [11, 22].
+
+Nodes are ``(val, next)`` where ``next`` packs a logical-deletion mark
+into its low bit (``next = 2*ptr + mark``).  ``remove`` first *marks*
+``curr``'s outgoing pointer (the logical removal — its LP), then tries to
+unlink; traversals (the inlined ``find``) help by physically unlinking
+marked nodes they pass.
+
+Table 1: Helping + future-dependent LPs.  The mutation LPs are fixed
+(link cas for ``add``, mark cas for ``remove``); the *read-only* outcomes
+(``contains``, failed ``add``/``remove``) have LPs that depend on future
+behaviour and may sit inside other threads' steps.  Instrumentation: each
+shared read carries ``trylin_readonly`` speculation hooks, the mutating
+LP atomics carry the same hooks (helping), and every method ends with
+``commit(cid ↣ (end, res))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..assertions.patterns import ThreadDone, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    linself,
+    trylin_readonly,
+)
+from ..lang import BinOp, Const, MethodDef, ObjectImpl, Skip, Var, seq
+from ..lang.builders import (
+    And,
+    Record,
+    add as eplus,
+    assign,
+    atomic,
+    cas_cell,
+    eq,
+    ge,
+    if_,
+    mod,
+    mul,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import set_spec
+
+NODE = Record("node", "val", "next")  # next is a packed (ptr, mark)
+
+HEAD_NODE = 30
+TAIL_NODE = 33
+MINUS_INF = -100
+PLUS_INF = 100
+
+READ_ONLY_METHODS = ("contains", "add", "remove")
+
+
+def _pack(ptr, mark):
+    return eplus(mul(ptr, 2), mark)
+
+
+def _help_readonly():
+    return tuple(trylin_readonly(m) for m in READ_ONLY_METHODS)
+
+
+def _read(var, addr_expr, instrument):
+    """A shared heap read; in instrumented code it carries the
+    speculation hooks (a potential LP for pending read-only ops)."""
+
+    from ..lang.ast import Load
+
+    stmt = Load(var, addr_expr)
+    if instrument:
+        return atomic(stmt, *_help_readonly())
+    return stmt
+
+
+def _find(instrument: bool):
+    """Inlined Michael ``find``: ends with ``scan = 0``,
+    ``pred.next = pack(curr, 0)`` as last read, ``cv = curr.val >= v``.
+    Unlinks marked nodes; restarts from the head when an unlink fails.
+    """
+
+    return seq(
+        assign("retry", 1),
+        while_(eq("retry", 1),
+               assign("retry", 0),
+               assign("pred", "Hd"),
+               _read("pn", NODE.addr("pred", "next"), instrument),
+               assign("curr", BinOp("/", Var("pn"), Const(2))),
+               assign("scan", 1),
+               while_(And(eq("scan", 1), eq("retry", 0)),
+                      _read("cn", NODE.addr("curr", "next"), instrument),
+                      assign("cmark", mod("cn", 2)),
+                      assign("csucc", BinOp("/", Var("cn"), Const(2))),
+                      NODE.load("cv", "curr", "val"),
+                      if_(eq("cmark", 1),
+                          # help: physically unlink the marked node
+                          seq(cas_cell("b", NODE.addr("pred", "next"),
+                                       _pack("curr", 0), _pack("csucc", 0)),
+                              if_(eq("b", 1),
+                                  assign("curr", "csucc"),
+                                  assign("retry", 1))),
+                          if_(ge("cv", "v"),
+                              assign("scan", 0),
+                              seq(assign("pred", "curr"),
+                                  assign("curr", "csucc")))))),
+    )
+
+
+def _commit_res(instrument: bool):
+    if not instrument:
+        return Skip()
+    return commit(commit_p(pattern(ThreadDone(Var("cid"), Var("res")))))
+
+
+def _add_body(instrument: bool):
+    link_aux = ((if_(eq("b", 1),
+                     seq(linself(), *_help_readonly())),)
+                if instrument else ())
+    return seq(
+        assign("done", 0),
+        while_(eq("done", 0),
+               _find(instrument),
+               if_(eq("cv", "v"),
+                   seq(assign("res", 0), assign("done", 1)),
+                   seq(NODE.alloc("x", val="v", next=_pack("curr", 0)),
+                       cas_cell("b", NODE.addr("pred", "next"),
+                                _pack("curr", 0), _pack("x", 0), *link_aux),
+                       if_(eq("b", 1),
+                           seq(assign("res", 1), assign("done", 1)))))),
+        _commit_res(instrument),
+        ret("res"),
+    )
+
+
+def _remove_body(instrument: bool):
+    mark_aux = ((if_(eq("b", 1),
+                     seq(linself(), *_help_readonly())),)
+                if instrument else ())
+    return seq(
+        assign("done", 0),
+        while_(eq("done", 0),
+               _find(instrument),
+               if_(eq("cv", "v"),
+                   # logical removal: mark curr's outgoing pointer
+                   seq(cas_cell("b", NODE.addr("curr", "next"),
+                                _pack("csucc", 0), _pack("csucc", 1),
+                                *mark_aux),
+                       if_(eq("b", 1),
+                           seq(
+                               # best-effort physical unlink
+                               cas_cell("b2", NODE.addr("pred", "next"),
+                                        _pack("curr", 0), _pack("csucc", 0)),
+                               assign("res", 1), assign("done", 1)))),
+                   seq(assign("res", 0), assign("done", 1)))),
+        _commit_res(instrument),
+        ret("res"),
+    )
+
+
+def _contains_body(instrument: bool):
+    from ..lang.builders import lt
+
+    return seq(
+        assign("curr", "Hd"),
+        NODE.load("cv", "curr", "val"),
+        while_(lt("cv", "v"),
+               _read("cn", NODE.addr("curr", "next"), instrument),
+               assign("curr", BinOp("/", Var("cn"), Const(2))),
+               NODE.load("cv", "curr", "val")),
+        _read("cn", NODE.addr("curr", "next"), instrument),
+        assign("m", mod("cn", 2)),
+        if_(And(eq("cv", "v"), eq("m", 0)),
+            assign("res", 1),
+            assign("res", 0)),
+        _commit_res(instrument),
+        ret("res"),
+    )
+
+
+def hm_phi(head: int = HEAD_NODE) -> RefMap:
+    """Values of reachable nodes whose outgoing pointer is unmarked."""
+
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        values = []
+        seen = set()
+        ptr = head
+        while ptr != 0:
+            if ptr in seen or ptr not in sigma:
+                return None
+            seen.add(ptr)
+            val = sigma.get(ptr + NODE.offset("val"))
+            packed = sigma.get(ptr + NODE.offset("next"))
+            if val is None or packed is None:
+                return None
+            if packed % 2 == 0:
+                values.append(val)
+            ptr = packed // 2
+        if not values or values[0] != MINUS_INF or values[-1] != PLUS_INF:
+            return None
+        inner = values[1:-1]
+        if list(inner) != sorted(set(inner)):
+            return None
+        return abs_obj(S=frozenset(inner))
+
+    return RefMap("harris-michael-list", walk)
+
+
+def _initial_memory():
+    return {
+        "Hd": HEAD_NODE,
+        HEAD_NODE: MINUS_INF, HEAD_NODE + 1: 2 * TAIL_NODE,
+        TAIL_NODE: PLUS_INF, TAIL_NODE + 1: 0,
+    }
+
+
+LOCALS = ("pred", "curr", "csucc", "cv", "cn", "pn", "cmark", "m",
+          "x", "b", "b2", "res", "scan", "retry", "done")
+
+
+def build() -> Algorithm:
+    spec = set_spec()
+    phi = hm_phi()
+    mem = _initial_memory()
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "add": cls("add", "v", LOCALS, _add_body(instrument)),
+            "remove": cls("remove", "v", LOCALS, _remove_body(instrument)),
+            "contains": cls("contains", "v", LOCALS,
+                            _contains_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="harris-michael-list")
+    instrumented = InstrumentedObject("harris-michael-list", methods(True),
+                                      spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "list malformed"
+        if not any(th["S"] == theta["S"] for _, th in delta):
+            return (f"no speculation matches φ(σ_o) = "
+                    f"{sorted(theta['S'])!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        s0 = phi.of(before[0])
+        s1 = phi.of(after[0])
+        if s0 is None or s1 is None:
+            return False
+        a, b = s0["S"], s1["S"]
+        return a == b or len(a ^ b) == 1
+
+    return Algorithm(
+        name="harris_michael_list",
+        display_name="Harris-Michael lock-free list",
+        citation="[11] Harris 2001, [22] Michael 2002",
+        helping=True, future_lp=True, java_pkg=True, hs_book=True,
+        description="Lock-free sorted set with mark-bit logical deletion; "
+                    "traversals help unlink marked nodes.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("add", 1), ("remove", 1), ("contains", 1)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="add: successful link cas; remove: successful mark cas "
+                 "(logical deletion); read-only outcomes: speculation at "
+                 "shared reads and in mutators' LP atomics, committed at "
+                 "return.",
+    )

@@ -1,0 +1,240 @@
+"""The Hendler-Shavit-Yerushalmi elimination-based stack [14] — Fig. 1(b).
+
+A Treiber stack backed by an *elimination array* ``loc`` with one slot
+per thread.  A push and a pop may cancel out: after failing on the
+central stack, a thread publishes a *thread descriptor* ``(id, op, arg)``
+in its slot, picks a random partner, and — if the partner performs the
+complementary operation — eliminates with it by two cas steps: first
+closing its own slot, then swinging the partner's slot to its own
+descriptor.
+
+The second cas is the LP of *both* operations (the push immediately
+before the pop): the active thread executes ``lin(cid); lin(him)`` inside
+that atomic step — the *helping* mechanism (Sec. 2.2), where a thread's
+operation is linearized by another thread's instruction.  The passive
+thread discovers the elimination when withdrawing its descriptor fails
+and simply returns (its abstract operation is already finished; for a
+pop, the return value is read from the eliminator's push descriptor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, lin, linself
+from ..lang import MethodDef, ObjectImpl, Skip, Var, seq
+from ..lang.builders import (
+    Record,
+    add as eplus,
+    assign,
+    atomic,
+    cas_cell,
+    cas_var,
+    eq,
+    if_,
+    neq,
+    nondet_range,
+    ret,
+    store,
+    while_,
+)
+from ..lang.ast import Load
+from ..memory.store import Store
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import EMPTY, stack_spec
+from .treiber import stack_phi
+
+NODE = Record("node", "val", "next")
+DESC = Record("desc", "id", "op", "arg")
+
+PUSH_OP = 1
+POP_OP = 2
+
+#: ``loc[t]`` lives at ``LOC_BASE + t``.
+LOC_BASE = 60
+
+#: Size of the elimination array (max thread id in workloads).
+N_SLOTS = 2
+
+
+def loc_slot(tid_expr):
+    return eplus(LOC_BASE, tid_expr)
+
+
+def _eliminate(partner_op: int, active_aux, instrument: bool):
+    """The elimination attempt shared by push and pop.
+
+    Expects ``p`` (own descriptor) deposited in ``loc[cid]``.  Sets
+    ``done``/``res`` on success; sets ``elim := 1`` when this thread was
+    itself eliminated.  ``active_aux`` is the pair of ``lin`` commands
+    executed with the successful elimination cas.
+    """
+
+    aux = (if_(eq("b", 1), seq(*active_aux)),) if instrument else ()
+    grab_value = (
+        (DESC.load("rv", "q", "arg"),) if partner_op == PUSH_OP else ())
+    on_success = (assign("res", "rv") if partner_op == PUSH_OP
+                  else assign("res", 0))
+    return seq(
+        assign("closed", 0),
+        nondet_range("him", 1, N_SLOTS),
+        Load("q", loc_slot("him")),
+        if_(neq("q", 0),
+            if_(neq(Var("q"), Var("p")),
+                seq(DESC.load("qid", "q", "id"),
+                    DESC.load("qop", "q", "op"),
+                    if_(eq(Var("qid"), Var("him")),
+                        if_(eq("qop", partner_op),
+                            seq(cas_cell("b2", loc_slot("cid"), "p", 0),
+                                if_(eq("b2", 1),
+                                    seq(assign("closed", 1),
+                                        *grab_value,
+                                        cas_cell("b", loc_slot("him"),
+                                                 "q", "p", *aux),
+                                        if_(eq("b", 1),
+                                            seq(on_success,
+                                                assign("done", 1)))),
+                                    assign("elim", 1)))))))),
+        # Withdraw the descriptor if it is still deposited and we neither
+        # finished nor already closed our slot.
+        if_(eq("done", 0),
+            if_(eq("elim", 0),
+                if_(eq("closed", 0),
+                    seq(cas_cell("b2", loc_slot("cid"), "p", 0),
+                        if_(eq("b2", 0), assign("elim", 1)))))),
+    )
+
+
+def _push_body(instrument: bool):
+    central_aux = (if_(eq("b", 1), linself()),) if instrument else ()
+    active_aux = (lin("cid"), lin("him"))  # push then the partner's pop
+    central = seq(
+        # tryPush: one Treiber attempt
+        assign("t", "S"),
+        NODE.store("x", "next", "t"),
+        cas_var("b", "S", "t", "x", *central_aux),
+        if_(eq("b", 1), seq(assign("res", 0), assign("done", 1))),
+    )
+    return seq(
+        NODE.alloc("x", val="v"),
+        DESC.alloc("p", id="cid", op=PUSH_OP, arg="v"),
+        assign("done", 0),
+        while_(eq("done", 0),
+               # Adaptive backoff: under contention a thread may go
+               # straight to the elimination array.
+               nondet_range("c", 0, 1),
+               if_(eq("c", 1), central),
+               if_(eq("done", 0),
+                   seq(store(loc_slot("cid"), "p"),
+                       assign("elim", 0),
+                       _eliminate(POP_OP, active_aux, instrument),
+                       if_(eq("elim", 1),
+                           seq(store(loc_slot("cid"), 0),
+                               assign("res", 0),
+                               assign("done", 1)))))),
+        ret("res"),
+    )
+
+
+def _pop_body(instrument: bool):
+    empty_aux = (if_(eq("t", 0), linself()),) if instrument else ()
+    central_aux = (if_(eq("b", 1), linself()),) if instrument else ()
+    active_aux = (lin("him"), lin("cid"))  # the partner's push, then pop
+    central = seq(
+        atomic(assign("t", "S"), *empty_aux),
+        if_(eq("t", 0),
+            seq(assign("res", EMPTY), assign("done", 1)),
+            seq(NODE.load("v2", "t", "val"),
+                NODE.load("n", "t", "next"),
+                cas_var("b", "S", "t", "n", *central_aux),
+                if_(eq("b", 1),
+                    seq(assign("res", "v2"), assign("done", 1))))),
+    )
+    return seq(
+        DESC.alloc("p", id="cid", op=POP_OP),
+        assign("done", 0),
+        while_(eq("done", 0),
+               nondet_range("c", 0, 1),
+               if_(eq("c", 1), central),
+               if_(eq("done", 0),
+                   seq(store(loc_slot("cid"), "p"),
+                       assign("elim", 0),
+                       _eliminate(PUSH_OP, active_aux, instrument),
+                       if_(eq("elim", 1),
+                           seq(Load("r", loc_slot("cid")),
+                               DESC.load("rv", "r", "arg"),
+                               store(loc_slot("cid"), 0),
+                               assign("res", "rv"),
+                               assign("done", 1)))))),
+        ret("res"),
+    )
+
+
+def _initial_memory():
+    mem = {"S": 0}
+    for t in range(1, N_SLOTS + 1):
+        mem[LOC_BASE + t] = 0
+    return mem
+
+
+PUSH_LOCALS = ("x", "p", "t", "b", "b2", "c", "him", "q", "qid", "qop",
+               "res", "rv", "done", "elim", "closed")
+POP_LOCALS = ("p", "t", "n", "v2", "b", "b2", "c", "him", "q", "qid",
+              "qop", "r", "res", "rv", "done", "elim", "closed")
+
+
+def build() -> Algorithm:
+    spec = stack_spec()
+    phi = stack_phi()
+    mem = _initial_memory()
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "push": cls("push", "v", PUSH_LOCALS, _push_body(instrument)),
+            "pop": cls("pop", "u", POP_LOCALS, _pop_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="hsy-stack")
+    instrumented = InstrumentedObject("hsy-stack", methods(True), spec,
+                                      mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "central stack malformed"
+        # HSY uses only lin (no speculation): Δ stays a singleton whose
+        # abstract stack tracks φ (elimination is a net no-op on both).
+        for _, th in delta:
+            if th["Stk"] != theta["Stk"]:
+                return (f"speculative stack {th['Stk']!r} != φ(σ_o) "
+                        f"= {theta['Stk']!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        s0 = phi.of(before[0])
+        s1 = phi.of(after[0])
+        if s0 is None or s1 is None:
+            return False
+        a, b = s0["Stk"], s1["Stk"]
+        return b == a or b[1:] == a or b == a[1:]
+
+    return Algorithm(
+        name="hsy_stack",
+        display_name="HSY elimination-based stack",
+        citation="[14] Hendler, Shavit & Yerushalmi 2004",
+        helping=True, future_lp=False, java_pkg=False, hs_book=True,
+        description="Treiber stack plus an elimination array where "
+                    "concurrent push/pop pairs cancel out.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        # One op per thread: a push/pop pair that both back off to the
+        # elimination array already exercises the helping LP; two ops per
+        # thread blows past the exploration budget.
+        workload=Workload([("push", 1), ("pop", 0)], threads=2,
+                          ops_per_thread=1),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="Central-stack LPs as in Treiber; elimination: the "
+                 "successful cas(&loc[him], q, p) linearizes both "
+                 "operations — lin(cid); lin(him) (Fig. 1b line 10').",
+    )

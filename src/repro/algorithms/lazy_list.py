@@ -1,0 +1,262 @@
+"""Heller et al.'s lazy list set [13].
+
+``add``/``remove`` traverse without locks, lock ``pred``/``curr`` and
+validate *locally* (neither node marked, ``pred.next = curr``) — no
+re-traversal.  ``remove`` first *marks* ``curr`` (the logical removal,
+its LP) and only then unlinks.  ``contains`` is wait-free: it traverses
+with no locks at all.
+
+Table 1 classifies the lazy list as Helping + future-dependent LP, both
+coming from ``contains``:
+
+* a ``contains`` that overlaps mutations has no statically fixed LP — it
+  must linearize at *some* moment during its run when the abstract set
+  gave the answer it returns (Heller et al.'s "hindsight" argument);
+* that moment can lie inside **another thread's** atomic step (e.g. right
+  after a ``remove`` marks the node the ``contains`` is sitting on) — the
+  mutator must help linearize the pending ``contains``.
+
+Instrumentation: ``contains`` speculates at each of its shared reads
+(``trylin_readonly``), mutators speculate on behalf of all pending
+read-only operations inside their LP atomics, and every method commits
+``cid ↣ (end, res)`` before returning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..assertions.patterns import ThreadDone, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    linself,
+    trylin_readonly,
+)
+from ..lang import MethodDef, ObjectImpl, Skip, Var, seq
+from ..lang.builders import And, Record, assign, atomic, eq, if_, lt, ret, while_
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import lock_cell, unlock_cell
+from .specs import set_spec
+
+NODE = Record("node", "val", "next", "lock", "marked")
+
+HEAD_NODE = 30
+TAIL_NODE = 35
+MINUS_INF = -100
+PLUS_INF = 100
+
+READ_ONLY_METHODS = ("contains", "add", "remove")
+
+
+def _help_readonly():
+    """Speculatively linearize every pending read-only operation — the
+    helping hooks placed inside each mutator's LP atomic."""
+
+    return tuple(trylin_readonly(m) for m in READ_ONLY_METHODS)
+
+
+def _find():
+    return seq(
+        assign("pred", "Hd"),
+        NODE.load("curr", "pred", "next"),
+        NODE.load("cv", "curr", "val"),
+        while_(lt("cv", "v"),
+               assign("pred", "curr"),
+               NODE.load("curr", "curr", "next"),
+               NODE.load("cv", "curr", "val")),
+    )
+
+
+def _validate():
+    """valid := !pred.marked && !curr.marked && pred.next = curr."""
+
+    return seq(
+        NODE.load("pm", "pred", "marked"),
+        NODE.load("cm", "curr", "marked"),
+        NODE.load("pn", "pred", "next"),
+        if_(And(eq("pm", 0), And(eq("cm", 0), eq(Var("pn"), Var("curr")))),
+            assign("valid", 1),
+            assign("valid", 0)),
+    )
+
+
+def _commit_res(instrument: bool):
+    if not instrument:
+        return Skip()
+    return commit(commit_p(pattern(ThreadDone(Var("cid"), Var("res")))))
+
+
+def _with_locks(decide, instrument: bool):
+    return seq(
+        assign("done", 0),
+        while_(eq("done", 0),
+               _find(),
+               lock_cell(NODE.addr("pred", "lock")),
+               lock_cell(NODE.addr("curr", "lock")),
+               _validate(),
+               if_(eq("valid", 1),
+                   seq(decide, assign("done", 1))),
+               unlock_cell(NODE.addr("curr", "lock")),
+               unlock_cell(NODE.addr("pred", "lock"))),
+        _commit_res(instrument),
+        ret("res"),
+    )
+
+
+def _add_body(instrument: bool):
+    fail_lp = linself() if instrument else Skip()
+    link = NODE.store("pred", "next", "x")
+    if instrument:
+        link = atomic(link, linself(), *_help_readonly())
+    return _with_locks(
+        if_(eq("cv", "v"),
+            seq(assign("res", 0), fail_lp),
+            seq(NODE.alloc("x", val="v", next="curr"),
+                link,
+                assign("res", 1))),
+        instrument)
+
+
+def _remove_body(instrument: bool):
+    fail_lp = linself() if instrument else Skip()
+    mark = NODE.store("curr", "marked", 1)
+    if instrument:
+        # The logical removal: remove's own LP, and the moment a pending
+        # contains may need to linearize (right after the mark).
+        mark = atomic(mark, linself(), *_help_readonly())
+    return _with_locks(
+        if_(eq("cv", "v"),
+            seq(mark,
+                NODE.load("n", "curr", "next"),
+                NODE.store("pred", "next", "n"),
+                assign("res", 1)),
+            seq(assign("res", 0), fail_lp)),
+        instrument)
+
+
+def _contains_body(instrument: bool):
+    spec_hooks = _help_readonly() if instrument else ()
+
+    def read(var, base, field):
+        stmt = NODE.load(var, base, field)
+        if instrument:
+            return atomic(stmt, *spec_hooks)
+        return stmt
+
+    return seq(
+        assign("curr", "Hd"),
+        read("cv", "curr", "val"),
+        while_(lt("cv", "v"),
+               read("curr", "curr", "next"),
+               read("cv", "curr", "val")),
+        read("m", "curr", "marked"),
+        if_(And(eq("cv", "v"), eq("m", 0)),
+            assign("res", 1),
+            assign("res", 0)),
+        _commit_res(instrument),
+        ret("res"),
+    )
+
+
+def lazy_phi(head: int = HEAD_NODE) -> RefMap:
+    """Unmarked reachable values between the sentinels."""
+
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        values = []
+        seen = set()
+        ptr = head
+        while ptr != 0:
+            if ptr in seen or ptr not in sigma:
+                return None
+            seen.add(ptr)
+            val = sigma.get(ptr + NODE.offset("val"))
+            nxt = sigma.get(ptr + NODE.offset("next"))
+            marked = sigma.get(ptr + NODE.offset("marked"))
+            if val is None or nxt is None or marked is None:
+                return None
+            if not marked:
+                values.append(val)
+            ptr = nxt
+        if not values or values[0] != MINUS_INF or values[-1] != PLUS_INF:
+            return None
+        inner = values[1:-1]
+        if list(inner) != sorted(set(inner)):
+            return None
+        return abs_obj(S=frozenset(inner))
+
+    return RefMap("lazy-list", walk)
+
+
+def _initial_memory():
+    return {
+        "Hd": HEAD_NODE,
+        HEAD_NODE: MINUS_INF, HEAD_NODE + 1: TAIL_NODE,
+        HEAD_NODE + 2: 0, HEAD_NODE + 3: 0,
+        TAIL_NODE: PLUS_INF, TAIL_NODE + 1: 0,
+        TAIL_NODE + 2: 0, TAIL_NODE + 3: 0,
+    }
+
+
+LOCALS = ("pred", "curr", "cv", "x", "n", "m", "res", "lb",
+          "pm", "cm", "pn", "valid", "done")
+
+
+def build() -> Algorithm:
+    spec = set_spec()
+    phi = lazy_phi()
+    mem = _initial_memory()
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "add": cls("add", "v", LOCALS, _add_body(instrument)),
+            "remove": cls("remove", "v", LOCALS, _remove_body(instrument)),
+            "contains": cls("contains", "v", LOCALS,
+                            _contains_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="lazy-list")
+    instrumented = InstrumentedObject("lazy-list", methods(True),
+                                      spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "lazy list malformed"
+        # With cross-thread speculation, stale speculative pairs may lag
+        # behind φ(σ_o) until their owner commits; the linking invariant
+        # is that *some* speculation tracks the concrete abstraction.
+        if not any(th["S"] == theta["S"] for _, th in delta):
+            return (f"no speculation matches φ(σ_o) = "
+                    f"{sorted(theta['S'])!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        s0 = phi.of(before[0])
+        s1 = phi.of(after[0])
+        if s0 is None or s1 is None:
+            return False
+        a, b = s0["S"], s1["S"]
+        return a == b or len(a ^ b) == 1
+
+    return Algorithm(
+        name="lazy_list",
+        display_name="Heller et al. lazy list",
+        citation="[13] Heller et al. 2005",
+        helping=True, future_lp=True, java_pkg=False, hs_book=True,
+        description="Sorted set with logical-then-physical removal and a "
+                    "wait-free, lock-free contains.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("add", 1), ("remove", 1), ("contains", 1)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="add/remove: linself at the link / the marking store "
+                 "(plus failure decisions under locks); contains: "
+                 "speculation at every shared read and inside mutators' "
+                 "LP atomics (helping), commit(cid ↣ (end, res)) at "
+                 "return.",
+    )

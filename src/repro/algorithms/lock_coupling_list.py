@@ -1,0 +1,182 @@
+"""Lock-coupling (hand-over-hand) sorted list set.
+
+A sorted linked list with sentinel nodes (−∞, +∞) and one spin lock per
+node.  Traversal holds two adjacent locks at all times; every LP is
+*fixed*, inside the fully locked window: the decision point for failed
+operations, the linking store for ``add``, the unlinking store for
+``remove``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, linself
+from ..lang import MethodDef, ObjectImpl, Skip, seq
+from ..lang.builders import Record, assign, atomic, eq, if_, lt, ret, while_
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import lock_cell, unlock_cell, walk_list
+from .specs import set_spec
+
+NODE = Record("node", "val", "next", "lock")
+
+HEAD_NODE = 30
+TAIL_NODE = 34
+MINUS_INF = -100
+PLUS_INF = 100
+
+
+def _traverse():
+    """Hand-over-hand walk; ends with pred/curr locked, curr.val >= v."""
+
+    return seq(
+        assign("pred", "Hd"),
+        lock_cell(NODE.addr("pred", "lock")),
+        NODE.load("curr", "pred", "next"),
+        lock_cell(NODE.addr("curr", "lock")),
+        NODE.load("cv", "curr", "val"),
+        while_(lt("cv", "v"),
+               unlock_cell(NODE.addr("pred", "lock")),
+               assign("pred", "curr"),
+               NODE.load("curr", "curr", "next"),
+               lock_cell(NODE.addr("curr", "lock")),
+               NODE.load("cv", "curr", "val")),
+    )
+
+
+def _release_and_return():
+    return seq(
+        unlock_cell(NODE.addr("curr", "lock")),
+        unlock_cell(NODE.addr("pred", "lock")),
+        ret("res"),
+    )
+
+
+def _add_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    link = NODE.store("pred", "next", "x")
+    if instrument:
+        link = atomic(link, linself())
+    return seq(
+        _traverse(),
+        if_(eq("cv", "v"),
+            seq(assign("res", 0), lp),
+            seq(NODE.alloc("x", val="v", next="curr"),
+                link,
+                assign("res", 1))),
+        _release_and_return(),
+    )
+
+
+def _remove_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    unlink = NODE.store("pred", "next", "n")
+    if instrument:
+        unlink = atomic(unlink, linself())
+    return seq(
+        _traverse(),
+        if_(eq("cv", "v"),
+            seq(NODE.load("n", "curr", "next"),
+                unlink,
+                assign("res", 1)),
+            seq(assign("res", 0), lp)),
+        _release_and_return(),
+    )
+
+
+def _contains_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    return seq(
+        _traverse(),
+        if_(eq("cv", "v"), assign("res", 1), assign("res", 0)),
+        lp,
+        _release_and_return(),
+    )
+
+
+def set_phi(head: int = HEAD_NODE) -> RefMap:
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        values = walk_list(sigma, head, NODE.offset("next"))
+        if values is None:
+            return None
+        if not values or values[0] != MINUS_INF or values[-1] != PLUS_INF:
+            return None
+        inner = values[1:-1]
+        if list(inner) != sorted(set(inner)):
+            return None  # must stay sorted and duplicate-free
+        return abs_obj(S=frozenset(inner))
+
+    return RefMap("lock-coupling-list", walk)
+
+
+def _initial_memory():
+    return {
+        "Hd": HEAD_NODE,
+        HEAD_NODE: MINUS_INF, HEAD_NODE + 1: TAIL_NODE, HEAD_NODE + 2: 0,
+        TAIL_NODE: PLUS_INF, TAIL_NODE + 1: 0, TAIL_NODE + 2: 0,
+    }
+
+
+LOCALS = ("pred", "curr", "cv", "x", "n", "res", "lb")
+
+
+def _set_invariant(phi):
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "set list malformed"
+        for _, th in delta:
+            if th["S"] != theta["S"]:
+                return (f"speculative set {sorted(th['S'])!r} != φ(σ_o) "
+                        f"= {sorted(theta['S'])!r}")
+        return True
+
+    return invariant
+
+
+def _set_guarantee(phi):
+    def guarantee(before, after, tid):
+        s0 = phi.of(before[0])
+        s1 = phi.of(after[0])
+        if s0 is None or s1 is None:
+            return False
+        a, b = s0["S"], s1["S"]
+        return a == b or len(a ^ b) == 1
+
+    return guarantee
+
+
+def build() -> Algorithm:
+    spec = set_spec()
+    phi = set_phi()
+    mem = _initial_memory()
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "add": cls("add", "v", LOCALS, _add_body(instrument)),
+            "remove": cls("remove", "v", LOCALS, _remove_body(instrument)),
+            "contains": cls("contains", "v", LOCALS,
+                            _contains_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="lock-coupling-list")
+    instrumented = InstrumentedObject("lock-coupling-list", methods(True),
+                                      spec, mem, phi=phi)
+
+    return Algorithm(
+        name="lock_coupling_list",
+        display_name="Lock-coupling list",
+        citation="HS book, ch. 9",
+        helping=False, future_lp=False, java_pkg=False, hs_book=True,
+        description="Sorted set; hand-over-hand per-node spin locks.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("add", 1), ("remove", 1), ("contains", 1)]),
+        invariant=_set_invariant(phi), guarantee=_set_guarantee(phi),
+        lp_notes="All LPs fixed inside the doubly-locked window: the "
+                 "linking/unlinking store, or the decision for failed "
+                 "operations (linself).",
+    )

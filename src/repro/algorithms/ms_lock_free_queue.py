@@ -1,0 +1,192 @@
+"""Michael & Scott's lock-free queue [23] — Fig. 13 and Sec. 6.2.
+
+``Head`` points at a sentinel; ``Tail`` points at the last or
+second-to-last node (it may lag by one and is helped forward by any
+thread).  LPs (Sec. 6.2):
+
+* ``enq``: the successful ``cas(&t.next, s, x)`` (line 8) — fixed;
+  helping threads merely swing ``Tail``, which does not change the
+  abstract queue;
+* ``deq``, non-empty: the successful ``cas(&Head, h, s)`` (line 28) —
+  fixed;
+* ``deq``, empty: the read ``s := h.next`` (line 20) **if** the method
+  returns EMPTY in the same iteration — future-dependent, instrumented
+  with ``trylinself`` at the read, ``commit(cid ↣ (end, EMPTY))`` before
+  ``return EMPTY``, and ``commit(cid ↣ DEQ)`` when the iteration
+  restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..assertions.patterns import ThreadDone, ThreadIs, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    linself,
+    trylinself,
+)
+from ..lang import And, MethodDef, ObjectImpl, Var, seq
+from ..lang.builders import (
+    Record,
+    assign,
+    atomic,
+    cas_cell,
+    cas_var,
+    eq,
+    if_,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import walk_list
+from .specs import EMPTY, queue_spec
+
+NODE = Record("node", "val", "next")
+
+SENTINEL = 40
+
+
+def _enq_body(instrument: bool):
+    aux = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        NODE.alloc("x", val="v"),
+        assign("done", 0),
+        while_(eq("done", 0),
+               assign("t", "Tail"),
+               NODE.load("s", "t", "next"),
+               if_(eq("t", "Tail"),
+                   if_(eq("s", 0),
+                       seq(cas_cell("b", NODE.addr("t", "next"), "s", "x",
+                                    *aux),
+                           if_(eq("b", 1),
+                               seq(cas_var("b2", "Tail", "t", "x"),
+                                   assign("done", 1)))),
+                       cas_var("b2", "Tail", "t", "s")))),
+        ret(0),
+    )
+
+
+def _deq_body(instrument: bool):
+    speculate = (if_(And(eq(Var("h"), Var("t")), eq(Var("s"), 0)),
+                     trylinself()),) if instrument else ()
+    commit_empty = ((commit(commit_p(pattern(
+        ThreadDone(Var("cid"), EMPTY)))),) if instrument else ())
+    commit_restart = ((if_(eq("done", 0),
+                           commit(commit_p(pattern(
+                               ThreadIs(Var("cid"), "deq"))))),)
+                      if instrument else ())
+    lp_cas = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        assign("done", 0), assign("res", EMPTY),
+        while_(eq("done", 0),
+               assign("h", "Head"),
+               assign("t", "Tail"),
+               atomic(NODE.load("s", "h", "next"), *speculate),
+               if_(eq("h", "Head"),
+                   if_(eq("h", "t"),
+                       if_(eq("s", 0),
+                           seq(*commit_empty,
+                               assign("res", EMPTY),
+                               assign("done", 1)),
+                           cas_var("b2", "Tail", "t", "s")),
+                       seq(NODE.load("res2", "s", "val"),
+                           cas_var("b", "Head", "h", "s", *lp_cas),
+                           if_(eq("b", 1),
+                               seq(assign("res", "res2"),
+                                   assign("done", 1)))))),
+               *commit_restart),
+        ret("res"),
+    )
+
+
+def queue_phi() -> RefMap:
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        if "Head" not in sigma:
+            return None
+        values = walk_list(sigma, sigma["Head"], NODE.offset("next"))
+        if values is None:
+            return None
+        return abs_obj(Q=values[1:])
+
+    return RefMap("ms-lock-free-queue", walk)
+
+
+def _initial_memory():
+    return {"Head": SENTINEL, "Tail": SENTINEL,
+            SENTINEL: 0, SENTINEL + 1: 0}
+
+
+ENQ_LOCALS = ("x", "t", "s", "b", "b2", "done")
+DEQ_LOCALS = ("h", "t", "s", "b", "b2", "res", "res2", "done")
+
+
+def build() -> Algorithm:
+    spec = queue_spec()
+    phi = queue_phi()
+    mem = _initial_memory()
+
+    impl = ObjectImpl(
+        {"enq": MethodDef("enq", "v", ENQ_LOCALS, _enq_body(False)),
+         "deq": MethodDef("deq", "u", DEQ_LOCALS, _deq_body(False))},
+        mem, name="ms-lock-free-queue")
+
+    instrumented = InstrumentedObject(
+        "ms-lock-free-queue",
+        {"enq": InstrumentedMethod("enq", "v", ENQ_LOCALS, _enq_body(True)),
+         "deq": InstrumentedMethod("deq", "u", DEQ_LOCALS, _deq_body(True))},
+        spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "queue list malformed"
+        # deq's speculation is only taken on an empty queue, so θ never
+        # diverges from the concrete abstraction.
+        for _, th in delta:
+            if th["Q"] != theta["Q"]:
+                return (f"speculative queue {th['Q']!r} != φ(σ_o) "
+                        f"= {theta['Q']!r}")
+        # Tail points at the last or second-to-last node (MS invariant).
+        tail = sigma_o["Tail"]
+        nxt = sigma_o.get(tail + NODE.offset("next"))
+        if nxt is None:
+            return "Tail dangling"
+        if nxt != 0:
+            nxt2 = sigma_o.get(nxt + NODE.offset("next"))
+            if nxt2 is None or nxt2 != 0:
+                return "Tail lags by more than one node"
+        return True
+
+    def guarantee(before, after, tid):
+        q0 = phi.of(before[0])
+        q1 = phi.of(after[0])
+        if q0 is None or q1 is None:
+            return False
+        a, b = q0["Q"], q1["Q"]
+        return b == a or b[:-1] == a or b == a[1:]
+
+    return Algorithm(
+        name="ms_lock_free_queue",
+        display_name="MS lock-free queue",
+        citation="[23] Michael & Scott 1996",
+        # Threads do help swing the lagging Tail, but that never
+        # executes another thread's abstract operation, so the paper's
+        # Helping column is blank for this algorithm (Sec. 6.2).
+        helping=False, future_lp=True, java_pkg=True, hs_book=True,
+        description="Lock-free sentinel queue; threads help swing the "
+                    "lagging Tail pointer; the empty-deq LP depends on a "
+                    "future consistency check.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("enq", 1), ("enq", 2), ("deq", 0)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="enq: successful cas(&t.next, s, x) (line 8, linself); "
+                 "deq non-empty: successful cas(&Head, h, s) (line 28); "
+                 "deq empty: trylinself at s := h.next (line 20), commit "
+                 "before return EMPTY, commit(cid ↣ DEQ) on restart.",
+    )

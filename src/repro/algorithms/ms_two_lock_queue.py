@@ -1,0 +1,135 @@
+"""Michael & Scott's two-lock queue [23].
+
+A linked list with a sentinel head node; ``Head`` points at the sentinel,
+``Tail`` at the last node.  ``enq`` appends under ``TLock``; ``deq``
+advances ``Head`` under ``HLock``.  Both LPs are *fixed* inside the
+critical sections:
+
+* ``enq``: the store linking the new node (``t.next := x``);
+* ``deq``: the read of ``h.next = null`` (empty), or the swing of
+  ``Head``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, linself
+from ..lang import MethodDef, ObjectImpl, seq
+from ..lang.builders import Record, assign, atomic, eq, if_, neq, ret, store
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import lock_var, unlock_var, walk_list
+from .specs import EMPTY, queue_spec
+
+NODE = Record("node", "val", "next")
+
+#: Pre-allocated sentinel node.
+SENTINEL = 40
+
+
+def _enq_body(instrument: bool):
+    link = [NODE.store("t", "next", "x")]
+    if instrument:
+        link = [atomic(NODE.store("t", "next", "x"), linself())]
+    return seq(
+        NODE.alloc("x", val="v"),
+        lock_var("TLock"),
+        assign("t", "Tail"),
+        *link,
+        assign("Tail", "x"),
+        unlock_var("TLock"),
+        ret(0),
+    )
+
+
+def _deq_body(instrument: bool):
+    empty_read = atomic(
+        NODE.load("n", "h", "next"),
+        *( (if_(eq("n", 0), linself()),) if instrument else () ),
+    )
+    swing = [assign("Head", "n")]
+    if instrument:
+        swing = [atomic(assign("Head", "n"), linself())]
+    return seq(
+        lock_var("HLock"),
+        assign("h", "Head"),
+        empty_read,
+        if_(eq("n", 0),
+            assign("res", EMPTY),
+            seq(NODE.load("res", "n", "val"), *swing)),
+        unlock_var("HLock"),
+        ret("res"),
+    )
+
+
+def queue_phi() -> RefMap:
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        if "Head" not in sigma:
+            return None
+        values = walk_list(sigma, sigma["Head"], NODE.offset("next"))
+        if values is None:
+            return None
+        return abs_obj(Q=values[1:])  # drop the sentinel value
+
+    return RefMap("ms-queue", walk)
+
+
+def _initial_memory():
+    return {"Head": SENTINEL, "Tail": SENTINEL, "HLock": 0, "TLock": 0,
+            SENTINEL: 0, SENTINEL + 1: 0}
+
+
+ENQ_LOCALS = ("x", "t", "lb")
+DEQ_LOCALS = ("h", "n", "res", "lb")
+
+
+def build() -> Algorithm:
+    spec = queue_spec()
+    phi = queue_phi()
+    mem = _initial_memory()
+
+    impl = ObjectImpl(
+        {"enq": MethodDef("enq", "v", ENQ_LOCALS, _enq_body(False)),
+         "deq": MethodDef("deq", "u", DEQ_LOCALS, _deq_body(False))},
+        mem, name="ms-two-lock-queue")
+
+    instrumented = InstrumentedObject(
+        "ms-two-lock-queue",
+        {"enq": InstrumentedMethod("enq", "v", ENQ_LOCALS, _enq_body(True)),
+         "deq": InstrumentedMethod("deq", "u", DEQ_LOCALS, _deq_body(True))},
+        spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "queue list malformed"
+        for _, th in delta:
+            if th["Q"] != theta["Q"]:
+                return (f"speculative queue {th['Q']!r} != φ(σ_o) "
+                        f"= {theta['Q']!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        q0 = phi.of(before[0])
+        q1 = phi.of(after[0])
+        if q0 is None or q1 is None:
+            return False
+        a, b = q0["Q"], q1["Q"]
+        return b == a or b[:-1] == a or b == a[1:]
+
+    return Algorithm(
+        name="ms_two_lock_queue",
+        display_name="MS two-lock queue",
+        citation="[23] Michael & Scott 1996",
+        helping=False, future_lp=False, java_pkg=False, hs_book=True,
+        description="Sentinel linked-list queue with separate head and "
+                    "tail spin locks.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("enq", 1), ("enq", 2), ("deq", 0)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="enq: the linking store under TLock; deq: the empty "
+                 "read of h.next, or the Head swing, under HLock.",
+    )

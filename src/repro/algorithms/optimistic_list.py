@@ -1,0 +1,161 @@
+"""Optimistic sorted list set [15] (Herlihy & Shavit, ch. 9.6).
+
+Traversal runs without locks; the operation then locks ``pred`` and
+``curr`` and *validates* by re-traversing from the head (checking that
+``pred`` is still reachable and ``pred.next = curr``).  On validation
+failure it unlocks and retries.  Nodes are never reclaimed, so unlocked
+traversal over detached nodes is safe.
+
+All LPs are *fixed* (Table 1: no helping, no future-dependent LPs): they
+sit inside the locked, validated window — the mutation store, or the
+decision point of failed/contains operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, linself
+from ..lang import MethodDef, ObjectImpl, Skip, seq
+from ..lang.builders import And, Record, assign, atomic, eq, if_, lt, ret, while_
+from ..memory.store import Store
+from ..spec.absobj import AbsObj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .common import lock_cell, unlock_cell
+from .lock_coupling_list import (
+    HEAD_NODE,
+    MINUS_INF,
+    PLUS_INF,
+    TAIL_NODE,
+    _initial_memory,
+    _set_guarantee,
+    _set_invariant,
+    set_phi,
+)
+
+NODE = Record("node", "val", "next", "lock")
+
+
+def _find():
+    """Unlocked traversal: ends with pred.val < v <= curr.val."""
+
+    return seq(
+        assign("pred", "Hd"),
+        NODE.load("curr", "pred", "next"),
+        NODE.load("cv", "curr", "val"),
+        while_(lt("cv", "v"),
+               assign("pred", "curr"),
+               NODE.load("curr", "curr", "next"),
+               NODE.load("cv", "curr", "val")),
+    )
+
+
+def _validate():
+    """Re-traverse from the head: ``valid := 1`` iff ``pred`` is reachable
+    and ``pred.next = curr`` (HS book Fig. 9.12)."""
+
+    return seq(
+        NODE.load("pv", "pred", "val"),
+        assign("n2", "Hd"),
+        assign("valid", 0),
+        assign("scan", 1),
+        while_(eq("scan", 1),
+               NODE.load("n2v", "n2", "val"),
+               if_(lt("pv", "n2v"),
+                   assign("scan", 0),
+                   if_(eq("n2", "pred"),
+                       seq(NODE.load("nn", "n2", "next"),
+                           if_(eq("nn", "curr"), assign("valid", 1)),
+                           assign("scan", 0)),
+                       NODE.load("n2", "n2", "next")))),
+    )
+
+
+def _with_locks(decide):
+    """retry loop: find; lock; validate; on success run ``decide``."""
+
+    return seq(
+        assign("done", 0),
+        while_(eq("done", 0),
+               _find(),
+               lock_cell(NODE.addr("pred", "lock")),
+               lock_cell(NODE.addr("curr", "lock")),
+               _validate(),
+               if_(eq("valid", 1),
+                   seq(decide, assign("done", 1))),
+               unlock_cell(NODE.addr("curr", "lock")),
+               unlock_cell(NODE.addr("pred", "lock"))),
+        ret("res"),
+    )
+
+
+def _add_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    link = NODE.store("pred", "next", "x")
+    if instrument:
+        link = atomic(link, linself())
+    return _with_locks(
+        if_(eq("cv", "v"),
+            seq(assign("res", 0), lp),
+            seq(NODE.alloc("x", val="v", next="curr"),
+                link,
+                assign("res", 1))))
+
+
+def _remove_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    unlink = NODE.store("pred", "next", "n")
+    if instrument:
+        unlink = atomic(unlink, linself())
+    return _with_locks(
+        if_(eq("cv", "v"),
+            seq(NODE.load("n", "curr", "next"),
+                unlink,
+                assign("res", 1)),
+            seq(assign("res", 0), lp)))
+
+
+def _contains_body(instrument: bool):
+    lp = linself() if instrument else Skip()
+    return _with_locks(
+        seq(if_(eq("cv", "v"), assign("res", 1), assign("res", 0)), lp))
+
+
+LOCALS = ("pred", "curr", "cv", "x", "n", "res", "lb",
+          "pv", "n2", "n2v", "nn", "valid", "scan", "done")
+
+
+def build() -> Algorithm:
+    from .specs import set_spec
+
+    spec = set_spec()
+    phi = set_phi()
+    mem = _initial_memory()
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "add": cls("add", "v", LOCALS, _add_body(instrument)),
+            "remove": cls("remove", "v", LOCALS, _remove_body(instrument)),
+            "contains": cls("contains", "v", LOCALS,
+                            _contains_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="optimistic-list")
+    instrumented = InstrumentedObject("optimistic-list", methods(True),
+                                      spec, mem, phi=phi)
+
+    return Algorithm(
+        name="optimistic_list",
+        display_name="Optimistic list",
+        citation="[15] Herlihy & Shavit, ch. 9.6",
+        helping=False, future_lp=False, java_pkg=False, hs_book=True,
+        description="Sorted set; lock-free traversal, then lock pred/curr "
+                    "and validate by re-traversal; retry on failure.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("add", 1), ("remove", 1), ("contains", 1)]),
+        invariant=_set_invariant(phi), guarantee=_set_guarantee(phi),
+        lp_notes="All LPs fixed inside the locked, validated window "
+                 "(linself at the mutation or the failure decision).",
+    )

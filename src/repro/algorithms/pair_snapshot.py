@@ -1,0 +1,170 @@
+"""Pair snapshot [27] — Fig. 1(c) and the Fig. 12 proof.
+
+The object is an array ``m`` of cells ``(d, v)`` (data, version).
+``write(i, d)`` atomically updates the data and bumps the version (its
+fixed LP).  ``readPair(i, j)`` reads the two slots separately and
+validates the first read; its LP is the *second* read (line 5), **but
+only if the later validation succeeds** — the future-dependent LP the
+paper resolves with ``trylinself`` + ``commit`` (lines 5' and 6').
+
+Cell ``i`` lives at addresses ``CELL_BASE + 2i`` (data) and
+``CELL_BASE + 2i + 1`` (version).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..assertions.patterns import ThreadDone, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    linself,
+    trylinself,
+)
+from ..lang import BinOp, Const, MethodDef, ObjectImpl, Var, seq
+from ..lang.builders import add, assign, atomic, eq, if_, load, mod, mul, ret, store, while_
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import BASE, pack2, snapshot_spec
+
+#: First address of the cell array.
+CELL_BASE = 50
+
+SIZE = 2
+
+
+def cell_d(i_expr):
+    return add(CELL_BASE, mul(i_expr, 2))
+
+
+def cell_v(i_expr):
+    return add(add(CELL_BASE, mul(i_expr, 2)), 1)
+
+
+def _read_pair_body(instrument: bool):
+    speculate = (trylinself(),) if instrument else ()
+    result = add(mul("a", BASE), "b")
+    commit_then_done = seq(
+        *( (commit(commit_p(pattern(ThreadDone(Var("cid"), result)))),)
+           if instrument else () ),
+        assign("done", 1),
+    )
+    return seq(
+        assign("i", BinOp("/", Var("ij"), Const(BASE))),
+        assign("j", mod("ij", BASE)),
+        assign("done", 0),
+        while_(eq("done", 0),
+               atomic(load("a", cell_d("i")), load("v", cell_v("i"))),
+               atomic(load("b", cell_d("j")), load("w", cell_v("j")),
+                      *speculate),
+               atomic(load("v2", cell_v("i")),
+                      if_(eq("v", "v2"), commit_then_done))),
+        ret(result),
+    )
+
+
+def _write_body(instrument: bool):
+    aux = (linself(),) if instrument else ()
+    return seq(
+        assign("i", BinOp("/", Var("id_"), Const(BASE))),
+        assign("d", mod("id_", BASE)),
+        atomic(store(cell_d("i"), "d"),
+               load("vv", cell_v("i")),
+               store(cell_v("i"), add("vv", 1)),
+               *aux),
+        ret(0),
+    )
+
+
+def snapshot_phi(size: int = SIZE) -> RefMap:
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        data = []
+        for i in range(size):
+            d_addr, v_addr = CELL_BASE + 2 * i, CELL_BASE + 2 * i + 1
+            if d_addr not in sigma or v_addr not in sigma:
+                return None
+            data.append(sigma[d_addr])
+        return abs_obj(m=tuple(data))
+
+    return RefMap("pair-snapshot", walk)
+
+
+def _initial_memory(size: int = SIZE):
+    mem = {}
+    for i in range(size):
+        mem[CELL_BASE + 2 * i] = 0
+        mem[CELL_BASE + 2 * i + 1] = 0
+    return mem
+
+
+READ_LOCALS = ("i", "j", "a", "b", "v", "w", "v2", "done")
+WRITE_LOCALS = ("i", "d", "vv")
+
+
+def build() -> Algorithm:
+    spec = snapshot_spec(SIZE)
+    phi = snapshot_phi()
+    mem = _initial_memory()
+
+    impl = ObjectImpl(
+        {"readPair": MethodDef("readPair", "ij", READ_LOCALS,
+                               _read_pair_body(False)),
+         "write": MethodDef("write", "id_", WRITE_LOCALS,
+                            _write_body(False))},
+        mem, name="pair-snapshot")
+
+    instrumented = InstrumentedObject(
+        "pair-snapshot",
+        {"readPair": InstrumentedMethod("readPair", "ij", READ_LOCALS,
+                                        _read_pair_body(True)),
+         "write": InstrumentedMethod("write", "id_", WRITE_LOCALS,
+                                     _write_body(True))},
+        spec, mem, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "cell array malformed"
+        # readPair is read-only, so every speculation carries the same
+        # abstract array, equal to the concrete data (the invariant I of
+        # Fig. 12: cell(i, d, v) maps m[i] |-> (d, v) to abstract d).
+        for _, th in delta:
+            if th["m"] != theta["m"]:
+                return (f"speculative abstract array {th['m']!r} != "
+                        f"concrete data {theta['m']!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        """Fig. 12's G = [Write]_I: writes bump the version of one cell."""
+
+        s0, s1 = before[0], after[0]
+        changed = [i for i in range(SIZE)
+                   if (s0[CELL_BASE + 2 * i], s0[CELL_BASE + 2 * i + 1])
+                   != (s1[CELL_BASE + 2 * i], s1[CELL_BASE + 2 * i + 1])]
+        if not changed:
+            return True
+        if len(changed) > 1:
+            return False
+        (i,) = changed
+        return s1[CELL_BASE + 2 * i + 1] == s0[CELL_BASE + 2 * i + 1] + 1
+
+    return Algorithm(
+        name="pair_snapshot",
+        display_name="Pair snapshot",
+        citation="[27] Qadeer, Sezgin & Tasiran",
+        helping=False, future_lp=True, java_pkg=False, hs_book=False,
+        description="Optimistic atomic read of two cells with version "
+                    "validation; LP depends on the future validation.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("readPair", pack2(0, 1)),
+                           ("write", pack2(0, 1)),
+                           ("write", pack2(1, 2))]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="readPair: trylinself at the second read (line 5'), "
+                 "commit(cid -> (end,(a,b))) after validation (line 6'); "
+                 "write: linself in the atomic write.",
+    )

@@ -1,0 +1,224 @@
+"""Restricted double-compare single-swap (RDCSS) [12].
+
+``RDCSS(o1, o2, n2)`` atomically sets the data location ``a2 := n2`` iff
+the *control* location ``a1 = o1`` and ``a2 = o2``, returning the old
+``a2``.  ``write1``/``read1`` access the control location directly.
+
+The implementation mirrors Harris et al.: a thread cas-installs a
+descriptor ``(id, o1, o2, n2)`` into ``a2`` (encoded ``2d + 1``; plain
+values are ``2v``), then any thread that encounters the descriptor helps
+``Complete`` it: read ``a1`` and resolve ``a2`` to ``n2`` or back to
+``o2``.
+
+Like CCAS, the LP of a descriptor-phase RDCSS is the ``a1`` read (inside
+whichever helper's ``Complete`` subsequently wins the resolution cas) —
+helping *and* future-dependent, instrumented with ``trylin(d.id)`` at the
+``a1`` read and ``commit`` at the resolution (Sec. 2.3: "the location of
+LP for thread t may be in the code of some other thread and also depend
+on the future behaviors of that thread").
+"""
+
+from __future__ import annotations
+
+from ..assertions.patterns import AbsIs, ThreadDone, commit_p, pattern
+from ..instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    ghost,
+    linself,
+    trylin,
+)
+from ..lang import BinOp, Const, MethodDef, ObjectImpl, Var, seq
+from ..lang.ast import Load
+from ..lang.builders import (
+    And,
+    Record,
+    add as eplus,
+    assign,
+    atomic,
+    eq,
+    if_,
+    mod,
+    mul,
+    neq,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import BASE, pack3, rdcss_spec
+
+DESC = Record("desc", "id", "o1", "o2", "n2")
+
+
+def plain(v):
+    return mul(v, 2)
+
+
+def desc_ptr(d):
+    return eplus(mul(d, 2), 1)
+
+
+def _cas_attempt(instrument: bool):
+    """``<r := cas(&a2, o2, d)>`` with the failed-RDCSS LP."""
+
+    fail_lp = ((if_(And(neq(Var("r"), plain("o2")),
+                        eq(mod("r", 2), 0)),
+                    linself()),) if instrument else ())
+    return atomic(
+        assign("r", "a2"),
+        if_(eq(Var("r"), plain("o2")), assign("a2", desc_ptr("d"))),
+        *fail_lp,
+    )
+
+
+def _complete(instrument: bool):
+    """Inline ``Complete(dd)``: resolve the descriptor via ``a1``."""
+
+    read_control = [assign("c1", "a1")]
+    if instrument:
+        read_control = [atomic(
+            assign("c1", "a1"),
+            ghost(Load("_did", DESC.addr("dd", "id"))),
+            if_(eq(Var("a2"), desc_ptr("dd")), trylin(Var("_did"))),
+        )]
+
+    def resolve(target_local):
+        body = [assign("s", "a2"),
+                if_(eq(Var("s"), desc_ptr("dd")),
+                    assign("a2", plain(target_local)))]
+        if instrument:
+            body = [assign("s", "a2"),
+                    if_(eq(Var("s"), desc_ptr("dd")),
+                        seq(assign("a2", plain(target_local)),
+                            ghost(Load("_did", DESC.addr("dd", "id"))),
+                            commit(commit_p(pattern(
+                                ThreadDone(Var("_did"), Var("do2")),
+                                AbsIs("a2", Var(target_local)))))))]
+        return atomic(*body)
+
+    return seq(
+        DESC.load("do1", "dd", "o1"),
+        DESC.load("do2", "dd", "o2"),
+        DESC.load("dn2", "dd", "n2"),
+        *read_control,
+        if_(eq(Var("c1"), Var("do1")),
+            resolve("dn2"),
+            resolve("do2")),
+    )
+
+
+def _rdcss_body(instrument: bool):
+    return seq(
+        assign("o1", BinOp("/", Var("arg"), Const(BASE * BASE))),
+        assign("o2", mod(BinOp("/", Var("arg"), Const(BASE)), BASE)),
+        assign("n2", mod("arg", BASE)),
+        DESC.alloc("d", id="cid", o1="o1", o2="o2", n2="n2"),
+        _cas_attempt(instrument),
+        while_(eq(mod("r", 2), 1),
+               assign("dd", BinOp("/", Var("r"), Const(2))),
+               _complete(instrument),
+               _cas_attempt(instrument)),
+        if_(eq(Var("r"), plain("o2")),
+            seq(assign("dd", "d"), _complete(instrument))),
+        ret(BinOp("/", Var("r"), Const(2))),
+    )
+
+
+def _write1_body(instrument: bool):
+    write = assign("a1", "v")
+    if instrument:
+        write = atomic(write, linself())
+    return seq(write, ret(0))
+
+
+def _read1_body(instrument: bool):
+    read = assign("r", "a1")
+    if instrument:
+        read = atomic(read, linself())
+    return seq(read, ret("r"))
+
+
+def rdcss_phi() -> RefMap:
+    def walk(sigma: Store):
+        if "a1" not in sigma or "a2" not in sigma:
+            return None
+        a2 = sigma["a2"]
+        if a2 % 2 == 0:
+            abs_a2 = a2 // 2
+        else:
+            d = a2 // 2
+            if d + DESC.offset("o2") not in sigma:
+                return None
+            abs_a2 = sigma[d + DESC.offset("o2")]  # unresolved: still o2
+        return abs_obj(a1=sigma["a1"], a2=abs_a2)
+
+    return RefMap("rdcss", walk)
+
+
+RDCSS_LOCALS = ("o1", "o2", "n2", "d", "r", "dd", "c1", "s",
+                "do1", "do2", "dn2")
+
+
+def build() -> Algorithm:
+    spec = rdcss_spec(a1_0=0, a2_0=0)
+    phi = rdcss_phi()
+    mem = {"a1": 0, "a2": 0}
+
+    def methods(instrument):
+        cls = InstrumentedMethod if instrument else MethodDef
+        return {
+            "RDCSS": cls("RDCSS", "arg", RDCSS_LOCALS,
+                         _rdcss_body(instrument)),
+            "write1": cls("write1", "v", (), _write1_body(instrument)),
+            "read1": cls("read1", "u", ("r",), _read1_body(instrument)),
+        }
+
+    impl = ObjectImpl(methods(False), mem, name="rdcss")
+    instrumented = InstrumentedObject("rdcss", methods(True), spec, mem,
+                                      phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "a2 holds a dangling descriptor"
+        if not any(th["a1"] == theta["a1"] and th["a2"] == theta["a2"]
+                   for _, th in delta):
+            return f"no speculation matches φ(σ_o) = {dict(theta)!r}"
+        return True
+
+    def guarantee(before, after, tid):
+        s0, s1 = before[0], after[0]
+        a0, a1v = s0["a2"], s1["a2"]
+        if s0["a1"] != s1["a1"]:
+            return a0 == a1v  # write1 touches only the control location
+        if a0 == a1v:
+            return True
+        if a0 % 2 == 0 and a1v % 2 == 1:
+            d = a1v // 2
+            return s1.get(d + DESC.offset("o2")) == a0 // 2
+        if a0 % 2 == 1 and a1v % 2 == 0:
+            d = a0 // 2
+            return a1v // 2 in (s1.get(d + DESC.offset("o2")),
+                                s1.get(d + DESC.offset("n2")))
+        return False
+
+    return Algorithm(
+        name="rdcss",
+        display_name="RDCSS",
+        citation="[12] Harris, Fraser & Pratt 2002",
+        helping=True, future_lp=True, java_pkg=False, hs_book=False,
+        description="Double-compare single-swap via helped operation "
+                    "descriptors in the data location.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("RDCSS", pack3(0, 0, 1)),
+                           ("RDCSS", pack3(1, 1, 2)),
+                           ("write1", 1)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="failed RDCSS: linself at the cas returning a plain "
+                 "value != o2; otherwise trylin(d.id) at Complete's a1 "
+                 "read and commit at the winning resolution cas.",
+    )

@@ -1,0 +1,50 @@
+"""Registry of the verified algorithms (the rows of Table 1)."""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Callable, Dict, List
+
+from ..errors import ReproError
+from .base import Algorithm
+
+#: Table-1 order.
+ALGORITHM_MODULES = (
+    ("treiber", "repro.algorithms.treiber"),
+    ("hsy_stack", "repro.algorithms.hsy_stack"),
+    ("ms_two_lock_queue", "repro.algorithms.ms_two_lock_queue"),
+    ("ms_lock_free_queue", "repro.algorithms.ms_lock_free_queue"),
+    ("dglm_queue", "repro.algorithms.dglm_queue"),
+    ("lock_coupling_list", "repro.algorithms.lock_coupling_list"),
+    ("optimistic_list", "repro.algorithms.optimistic_list"),
+    ("lazy_list", "repro.algorithms.lazy_list"),
+    ("harris_michael_list", "repro.algorithms.harris_michael_list"),
+    ("pair_snapshot", "repro.algorithms.pair_snapshot"),
+    ("ccas", "repro.algorithms.ccas"),
+    ("rdcss", "repro.algorithms.rdcss"),
+)
+
+_cache: Dict[str, Algorithm] = {}
+
+
+def algorithm_names() -> List[str]:
+    return [name for name, _ in ALGORITHM_MODULES]
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Build (and cache) the named algorithm."""
+
+    if name not in _cache:
+        for key, module_path in ALGORITHM_MODULES:
+            if key == name:
+                module = import_module(module_path)
+                _cache[name] = module.build()
+                break
+        else:
+            raise ReproError(
+                f"unknown algorithm {name!r}; known: {algorithm_names()}")
+    return _cache[name]
+
+
+def all_algorithms() -> List[Algorithm]:
+    return [get_algorithm(name) for name in algorithm_names()]

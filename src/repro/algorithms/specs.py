@@ -1,0 +1,176 @@
+"""Shared abstract specifications Γ and value encodings.
+
+The toy language is integer-valued with single-argument methods, so
+multi-argument operations and pair returns are packed into one integer in
+base :data:`BASE` (the paper's ``readPair`` returns the pair ``(a, b)``;
+we return ``a*BASE + b``).  All workloads use small value domains, far
+below :data:`BASE`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.gamma import MethodSpec, OSpec, deterministic
+
+#: Radix for packing small tuples of values into one integer argument.
+BASE = 8
+
+#: Conventional "empty" return value for stacks and queues.
+EMPTY = -1
+
+
+def pack2(a: int, b: int) -> int:
+    return a * BASE + b
+
+
+def unpack2(x: int) -> Tuple[int, int]:
+    return x // BASE, x % BASE
+
+
+def pack3(a: int, b: int, c: int) -> int:
+    return (a * BASE + b) * BASE + c
+
+
+def unpack3(x: int) -> Tuple[int, int, int]:
+    return x // (BASE * BASE), (x // BASE) % BASE, x % BASE
+
+
+def stack_spec(initial: Tuple[int, ...] = ()) -> OSpec:
+    """``PUSH(v): Stk := v::Stk`` and ``POP``, with ``EMPTY`` on empty."""
+
+    def push(v, th):
+        return (0, th.set("Stk", (v,) + th["Stk"]))
+
+    def pop(_, th):
+        stk = th["Stk"]
+        if not stk:
+            return (EMPTY, th)
+        return (stk[0], th.set("Stk", stk[1:]))
+
+    return OSpec({"push": deterministic("push", push),
+                  "pop": deterministic("pop", pop)},
+                 abs_obj(Stk=tuple(initial)), name="stack")
+
+
+def queue_spec() -> OSpec:
+    """FIFO queue: ``enq`` appends, ``deq`` takes the head or ``EMPTY``."""
+
+    def enq(v, th):
+        return (0, th.set("Q", th["Q"] + (v,)))
+
+    def deq(_, th):
+        q = th["Q"]
+        if not q:
+            return (EMPTY, th)
+        return (q[0], th.set("Q", q[1:]))
+
+    return OSpec({"enq": deterministic("enq", enq),
+                  "deq": deterministic("deq", deq)},
+                 abs_obj(Q=()), name="queue")
+
+
+def set_spec() -> OSpec:
+    """Integer set: add/remove return 1 on success, contains returns 1/0."""
+
+    def add(v, th):
+        s = th["S"]
+        if v in s:
+            return (0, th)
+        return (1, th.set("S", s | frozenset({v})))
+
+    def remove(v, th):
+        s = th["S"]
+        if v not in s:
+            return (0, th)
+        return (1, th.set("S", s - frozenset({v})))
+
+    def contains(v, th):
+        return (1 if v in th["S"] else 0, th)
+
+    return OSpec({"add": deterministic("add", add),
+                  "remove": deterministic("remove", remove),
+                  "contains": deterministic("contains", contains)},
+                 abs_obj(S=frozenset()), name="set")
+
+
+def snapshot_spec(size: int = 2) -> OSpec:
+    """Pair snapshot (Fig. 1c): atomic two-cell read; per-cell write.
+
+    ``readPair(pack2(i, j))`` returns ``pack2(m[i], m[j])``;
+    ``write(pack2(i, d))`` stores ``d`` at slot ``i``.
+    """
+
+    def read_pair(arg, th):
+        i, j = unpack2(arg)
+        m = th["m"]
+        return (pack2(m[i], m[j]), th)
+
+    def write(arg, th):
+        i, d = unpack2(arg)
+        m = th["m"]
+        return (0, th.set("m", m[:i] + (d,) + m[i + 1:]))
+
+    return OSpec({"readPair": deterministic("readPair", read_pair),
+                  "write": deterministic("write", write)},
+                 abs_obj(m=(0,) * size), name="pair-snapshot")
+
+
+def ccas_spec(flag0: int = 1, a0: int = 0) -> OSpec:
+    """Conditional CAS (Fig. 14).
+
+    ``CCAS(pack2(o, n))``: if ``flag`` and ``a = o`` then ``a := n``;
+    always returns the old ``a``.  ``SetFlag(b)`` sets the flag.
+    """
+
+    def ccas(arg, th):
+        o, n = unpack2(arg)
+        old = th["a"]
+        if th["flag"] and old == o:
+            return (old, th.set("a", n))
+        return (old, th)
+
+    def set_flag(b, th):
+        return (0, th.set("flag", 1 if b else 0))
+
+    return OSpec({"CCAS": deterministic("CCAS", ccas),
+                  "SetFlag": deterministic("SetFlag", set_flag)},
+                 abs_obj(flag=flag0, a=a0), name="ccas")
+
+
+def rdcss_spec(a1_0: int = 0, a2_0: int = 0) -> OSpec:
+    """Restricted double-compare single-swap (Harris et al. [12]).
+
+    ``RDCSS(pack3(o1, o2, n2))``: if ``a1 = o1`` and ``a2 = o2`` then
+    ``a2 := n2``; always returns the old ``a2``.  ``write1(v)`` updates
+    the control location ``a1``; ``read1`` reads it.
+    """
+
+    def rdcss(arg, th):
+        o1, o2, n2 = unpack3(arg)
+        old = th["a2"]
+        if th["a1"] == o1 and old == o2:
+            return (old, th.set("a2", n2))
+        return (old, th)
+
+    def write1(v, th):
+        return (0, th.set("a1", v))
+
+    def read1(_, th):
+        return (th["a1"], th)
+
+    return OSpec({"RDCSS": deterministic("RDCSS", rdcss),
+                  "write1": deterministic("write1", write1),
+                  "read1": deterministic("read1", read1)},
+                 abs_obj(a1=a1_0, a2=a2_0), name="rdcss")
+
+
+def counter_spec() -> OSpec:
+    """Fetch-and-increment counter (the Sec. 2.4 discussion object)."""
+
+    def inc(_, th):
+        return (th["x"] + 1, th.set("x", th["x"] + 1))
+
+    return OSpec({"inc": deterministic("inc", inc)}, abs_obj(x=0),
+                 name="counter")

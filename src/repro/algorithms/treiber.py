@@ -1,0 +1,134 @@
+"""Treiber's lock-free stack [29] — Fig. 1(a).
+
+The stack is a linked list of ``node(val, next)`` cells pointed to by the
+object variable ``S``.  Both LPs are *fixed*:
+
+* ``push``: the successful ``cas(&S, t, x)`` — instrumented with
+  ``linself`` inside the same atomic block (line 7' of Fig. 1a);
+* ``pop``: the successful ``cas(&S, t, n)``, or the read of ``S = null``
+  for the empty case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedMethod, InstrumentedObject, linself
+from ..lang import MethodDef, ObjectImpl, seq
+from ..lang.builders import (
+    Record,
+    assign,
+    atomic,
+    cas_var,
+    eq,
+    if_,
+    ret,
+    while_,
+)
+from ..memory.store import Store
+from ..spec.absobj import AbsObj, abs_obj
+from ..spec.refmap import RefMap
+from .base import Algorithm, Workload
+from .specs import EMPTY, stack_spec
+
+NODE = Record("node", "val", "next")
+
+
+def _push_body(instrument: bool):
+    aux = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        NODE.alloc("x", val="v"),
+        assign("b", 0),
+        while_(eq("b", 0),
+               assign("t", "S"),
+               NODE.store("x", "next", "t"),
+               cas_var("b", "S", "t", "x", *aux)),
+        ret(0),
+    )
+
+
+def _pop_body(instrument: bool):
+    lp_empty = (if_(eq("t", 0), linself()),) if instrument else ()
+    lp_cas = (if_(eq("b", 1), linself()),) if instrument else ()
+    return seq(
+        assign("b", 0), assign("v", EMPTY),
+        while_(eq("b", 0),
+               atomic(assign("t", "S"), *lp_empty),
+               if_(eq("t", 0),
+                   seq(assign("v", EMPTY), assign("b", 1)),
+                   seq(NODE.load("v", "t", "val"),
+                       NODE.load("n", "t", "next"),
+                       cas_var("b", "S", "t", "n", *lp_cas)))),
+        ret("v"),
+    )
+
+
+def stack_phi(head_var: str = "S") -> RefMap:
+    """Walk the list from ``head_var``; ``None`` on malformed structure."""
+
+    def walk(sigma: Store) -> Optional[AbsObj]:
+        if head_var not in sigma:
+            return None
+        values = []
+        seen = set()
+        ptr = sigma[head_var]
+        while ptr != 0:
+            if ptr in seen or ptr not in sigma or (ptr + 1) not in sigma:
+                return None  # cycle or dangling pointer
+            seen.add(ptr)
+            values.append(sigma[ptr])
+            ptr = sigma[ptr + 1]
+        return abs_obj(Stk=tuple(values))
+
+    return RefMap("treiber-stack", walk)
+
+
+def build() -> Algorithm:
+    spec = stack_spec()
+    phi = stack_phi()
+
+    impl = ObjectImpl(
+        {"push": MethodDef("push", "v", ("x", "t", "b"), _push_body(False)),
+         "pop": MethodDef("pop", "u", ("t", "n", "v", "b"),
+                          _pop_body(False))},
+        {"S": 0}, name="treiber")
+
+    instrumented = InstrumentedObject(
+        "treiber",
+        {"push": InstrumentedMethod("push", "v", ("x", "t", "b"),
+                                    _push_body(True)),
+         "pop": InstrumentedMethod("pop", "u", ("t", "n", "v", "b"),
+                                   _pop_body(True))},
+        spec, {"S": 0}, phi=phi)
+
+    def invariant(sigma_o, delta):
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return "concrete stack is not a well-formed list"
+        for _, th in delta:
+            if th["Stk"] != theta["Stk"]:
+                return (f"speculation stack {th['Stk']!r} disagrees with "
+                        f"φ(σ_o) = {theta['Stk']!r}")
+        return True
+
+    def guarantee(before, after, tid):
+        s0 = phi.of(before[0])
+        s1 = phi.of(after[0])
+        if s0 is None or s1 is None:
+            return False
+        a, b = s0["Stk"], s1["Stk"]
+        # Id, Push (new head) or Pop (drop head).
+        return b == a or b[1:] == a or b == a[1:]
+
+    return Algorithm(
+        name="treiber",
+        display_name="Treiber stack",
+        citation="[29] Treiber 1986",
+        helping=False, future_lp=False, java_pkg=False, hs_book=True,
+        description="Lock-free stack; cas-retry loop on the head pointer.",
+        impl=impl, spec=spec, phi=phi, instrumented=instrumented,
+        workload=Workload([("push", 1), ("push", 2), ("pop", 0)]),
+        invariant=invariant, guarantee=guarantee,
+        lp_notes="push: successful cas (linself, Fig. 1a line 7'); "
+                 "pop: successful cas, or the read of S = null.",
+    )

@@ -1,0 +1,38 @@
+"""Relational assertions: Fig. 8 semantics, Fig. 9 actions, patterns."""
+
+from .actions import (
+    Action,
+    Arrow,
+    Bracket,
+    IdAct,
+    OPlusAct,
+    OrAct,
+    StarAct,
+    TrueAct,
+    fences,
+    precise,
+    stable,
+    transitions,
+)
+from .patterns import (
+    AbsIs,
+    AbsSat,
+    CommitAssertion,
+    CommitOutcome,
+    Raw,
+    SpecConstraint,
+    SpecPattern,
+    ThreadDone,
+    ThreadIs,
+    commit_filter,
+    commit_p,
+    pattern,
+)
+
+__all__ = [
+    "Action", "Arrow", "Bracket", "IdAct", "OPlusAct", "OrAct",
+    "StarAct", "TrueAct", "fences", "precise", "stable", "transitions",
+    "AbsIs", "AbsSat", "CommitAssertion", "CommitOutcome", "Raw",
+    "SpecConstraint", "SpecPattern", "ThreadDone", "ThreadIs",
+    "commit_filter", "commit_p", "pattern",
+]

@@ -1,0 +1,217 @@
+"""Rely/guarantee actions (Fig. 9) over relational state pairs.
+
+The paper's actions ``R, G ::= p ⋉ q | [p] | R * R | R ⊕ R | ...``
+denote sets of transitions ``(Σ, Σ')``:
+
+* ``p ⋉ q``   — the pre-state satisfies ``p``, the post-state ``q``;
+* ``[p]``     — identity on states satisfying ``p``;
+* ``R1 * R2`` — both states split such that each half makes a
+  corresponding ``Ri`` transition;
+* ``R1 ⊕ R2`` — the speculative union: both Δ's split as ⊕ and each part
+  transitions by its ``Ri`` (this is how ``trylin`` steps are specified —
+  ``R ⊕ Id`` keeps the original speculations next to the new ones,
+  Sec. 6.3);
+* ``Id = [true]`` and ``True = true ⋉ true``.
+
+This module also provides the judgments built from actions:
+
+* fencing ``I ▷ R`` — ``[I] ⇒ R``, ``R ⇒ I ⋉ I`` and ``Precise(I)``;
+* stability ``Sta(p, R)``;
+* precision ``Precise(p)``;
+
+all decided over finite universes of :class:`~repro.assertions.fig8.RelState`
+(the definitional counterpart of the pragmatic checks in
+:mod:`repro.logic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .fig8 import (
+    Assertion,
+    RelState,
+    delta_factorizations,
+    delta_unions,
+    sat,
+    sigma_splits,
+)
+
+
+class Action:
+    """Base class; ``holds(pre, post) -> bool``."""
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        raise NotImplementedError
+
+    def __mul__(self, other: "Action") -> "Action":
+        return StarAct(self, other)
+
+
+@dataclass(frozen=True)
+class Arrow(Action):
+    """``p ⋉ q``."""
+
+    pre: Assertion
+    post: Assertion
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        return sat(pre, self.pre) and sat(post, self.post)
+
+    def __str__(self):
+        return f"{self.pre} |x {self.post}"
+
+
+@dataclass(frozen=True)
+class Bracket(Action):
+    """``[p]`` — identity on ``p``-states."""
+
+    inv: Assertion
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        return sat(pre, self.inv) and pre == post
+
+    def __str__(self):
+        return f"[{self.inv}]"
+
+
+@dataclass(frozen=True)
+class StarAct(Action):
+    """``R1 * R2`` — split both states compatibly."""
+
+    left: Action
+    right: Action
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        for s1, s2 in sigma_splits(pre.sigma):
+            for d1, d2 in delta_factorizations(pre.delta):
+                for s1p, s2p in sigma_splits(post.sigma):
+                    for d1p, d2p in delta_factorizations(post.delta):
+                        if (self.left.holds(RelState(s1, d1),
+                                            RelState(s1p, d1p))
+                                and self.right.holds(RelState(s2, d2),
+                                                     RelState(s2p, d2p))):
+                            return True
+        return False
+
+    def __str__(self):
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class OPlusAct(Action):
+    """``R1 ⊕ R2`` — split both Δ's as unions over the same σ."""
+
+    left: Action
+    right: Action
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        for d1, d2 in delta_unions(pre.delta):
+            for d1p, d2p in delta_unions(post.delta):
+                if (self.left.holds(RelState(pre.sigma, d1),
+                                    RelState(post.sigma, d1p))
+                        and self.right.holds(RelState(pre.sigma, d2),
+                                             RelState(post.sigma, d2p))):
+                    return True
+        return False
+
+    def __str__(self):
+        return f"({self.left} (+) {self.right})"
+
+
+@dataclass(frozen=True)
+class OrAct(Action):
+    """Disjunction of actions (the ``R1 ∨ R2`` of rely compositions)."""
+
+    left: Action
+    right: Action
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        return self.left.holds(pre, post) or self.right.holds(pre, post)
+
+    def __str__(self):
+        return f"({self.left} \\/ {self.right})"
+
+
+@dataclass(frozen=True)
+class IdAct(Action):
+    """``Id = [true]`` (Fig. 9)."""
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        return pre == post
+
+    def __str__(self):
+        return "Id"
+
+
+@dataclass(frozen=True)
+class TrueAct(Action):
+    """``True = true ⋉ true``."""
+
+    def holds(self, pre: RelState, post: RelState) -> bool:
+        return True
+
+    def __str__(self):
+        return "True"
+
+
+# ---------------------------------------------------------------------------
+# Judgments over finite universes
+# ---------------------------------------------------------------------------
+
+
+def stable(assertion: Assertion, rely: Action,
+           universe: Sequence[RelState]) -> bool:
+    """``Sta(p, R)``: every ``R``-step out of a ``p``-state stays in ``p``."""
+
+    holders = [s for s in universe if sat(s, assertion)]
+    for pre in holders:
+        for post in universe:
+            if rely.holds(pre, post) and not sat(post, assertion):
+                return False
+    return True
+
+
+def precise(assertion: Assertion, universe: Sequence[RelState]) -> bool:
+    """``Precise(p)``: in any state, at most one sub-state satisfies ``p``.
+
+    Decided by enumerating the σ/Δ splittings of each universe state and
+    counting the distinct ``p``-satisfying parts.
+    """
+
+    for state in universe:
+        found = set()
+        for s1, s2 in sigma_splits(state.sigma):
+            for d1, d2 in delta_factorizations(state.delta):
+                part = RelState(s1, d1)
+                if sat(part, assertion):
+                    found.add((s1, d1))
+        if len(found) > 1:
+            return False
+    return True
+
+
+def fences(inv: Assertion, action: Action,
+           universe: Sequence[RelState]) -> bool:
+    """``I ▷ R`` (Fig. 9): ``[I] ⇒ R``, ``R ⇒ I ⋉ I``, ``Precise(I)``."""
+
+    bracket = Bracket(inv)
+    arrow = Arrow(inv, inv)
+    for pre in universe:
+        for post in universe:
+            if bracket.holds(pre, post) and not action.holds(pre, post):
+                return False
+            if action.holds(pre, post) and not arrow.holds(pre, post):
+                return False
+    return precise(inv, universe)
+
+
+def transitions(action: Action,
+                universe: Sequence[RelState]
+                ) -> List[Tuple[RelState, RelState]]:
+    """All ``(Σ, Σ')`` pairs of the universe allowed by ``action``."""
+
+    return [(pre, post)
+            for pre in universe for post in universe
+            if action.holds(pre, post)]

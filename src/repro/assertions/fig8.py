@@ -1,0 +1,346 @@
+"""The paper's assertion semantics, Fig. 8 — the definitional core.
+
+This module implements the *resource-model* satisfaction judgment
+``Σ ⊨ p`` for the assertion syntax of Fig. 7 over relational states
+``Σ = (σ, Δ)``:
+
+* variables are resource: ``{{E}}_σ`` evaluates ``E`` only when
+  ``dom(σ) = fv(E)`` (exact-domain evaluation);
+* ``E1 ↦ E2`` owns exactly the heap cell plus the variables mentioned;
+* ``x ⤇ E`` owns the abstract cell ``x`` with no pending-thread
+  speculation: ``Δ = {(∅, {x ↝ n})}``;
+* ``E1 ↣ (γ, E2)`` / ``E1 ↣ (end, E2)`` own the singleton speculation of
+  thread ``E1``'s remaining operation;
+* ``p * q`` splits both σ (disjoint union) and Δ (the speculation-wise
+  product ``Δ1 * Δ2``);
+* ``p ⊕ q`` splits Δ into a union of speculation sets over the same σ.
+
+Satisfaction is decided by explicit enumeration of splittings — fine for
+the small states of the test suite, and exactly the paper's definitions.
+The pragmatic checker used for whole-proof verification lives in
+:mod:`repro.logic`; this module exists so the semantics itself is
+executable and testable (e.g. the ⊕/* distribution equation of Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..errors import EvalError
+from ..instrument.state import Delta, Speculation
+from ..lang.ast import Expr
+from ..memory.store import Store
+from ..semantics.eval import eval_expr
+
+#: The empty speculation set ``•`` (Fig. 8).
+UNIT: Delta = frozenset({(Store(), Store())})
+
+
+@dataclass(frozen=True)
+class RelState:
+    """``Σ = (σ, Δ)``."""
+
+    sigma: Store
+    delta: Delta
+
+
+def exact_eval(expr: Expr, sigma: Store) -> Optional[int]:
+    """``{{E}}_σ`` — defined only when ``dom(σ) = fv(E)``."""
+
+    if frozenset(sigma.keys()) != expr.free_vars():
+        return None
+    try:
+        return eval_expr(expr, lambda name: sigma[name])
+    except EvalError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Assertion syntax (Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+class Assertion:
+    """Base class; satisfaction via :func:`sat`."""
+
+
+@dataclass(frozen=True)
+class TrueA(Assertion):
+    def __str__(self):
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseA(Assertion):
+    def __str__(self):
+        return "false"
+
+
+@dataclass(frozen=True)
+class EmpA(Assertion):
+    def __str__(self):
+        return "emp"
+
+
+@dataclass(frozen=True)
+class EqA(Assertion):
+    """``E1 = E2`` (consumes the variables of both sides)."""
+
+    left: Expr
+    right: Expr
+
+    def __str__(self):
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class PointsTo(Assertion):
+    """``E1 ↦ E2``."""
+
+    addr: Expr
+    value: Expr
+
+    def __str__(self):
+        return f"{self.addr} |-> {self.value}"
+
+
+@dataclass(frozen=True)
+class AbsCell(Assertion):
+    """``x ⤇ E`` — the abstract object maps ``x`` to ``E``."""
+
+    var: str
+    value: Expr
+
+    def __str__(self):
+        return f"{self.var} |=> {self.value}"
+
+
+@dataclass(frozen=True)
+class ThreadPendingA(Assertion):
+    """``E1 ↣ (γ_method, E2)``."""
+
+    tid: Expr
+    method: str
+    arg: Expr
+
+    def __str__(self):
+        return f"{self.tid} >-> ({self.method}, {self.arg})"
+
+
+@dataclass(frozen=True)
+class ThreadEndA(Assertion):
+    """``E1 ↣ (end, E2)``."""
+
+    tid: Expr
+    ret: Expr
+
+    def __str__(self):
+        return f"{self.tid} >-> (end, {self.ret})"
+
+
+@dataclass(frozen=True)
+class Star(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def __str__(self):
+        return f"({self.left} * {self.right})"
+
+
+@dataclass(frozen=True)
+class OPlus(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def __str__(self):
+        return f"({self.left} (+) {self.right})"
+
+
+@dataclass(frozen=True)
+class OrA(Assertion):
+    left: Assertion
+    right: Assertion
+
+    def __str__(self):
+        return f"({self.left} \\/ {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Splitting helpers
+# ---------------------------------------------------------------------------
+
+
+def _subsets(items: Tuple) -> Iterable[Tuple]:
+    return chain.from_iterable(
+        combinations(items, r) for r in range(len(items) + 1))
+
+
+def sigma_splits(sigma: Store) -> Iterable[Tuple[Store, Store]]:
+    """All ``σ = σ1 ⊎ σ2``."""
+
+    keys = tuple(sigma.keys())
+    for left in _subsets(keys):
+        left_set = set(left)
+        yield (sigma.restrict(left_set),
+               sigma.without(left_set))
+
+
+def _project(delta: Delta, tids: FrozenSet, avars: FrozenSet) -> Delta:
+    out = set()
+    for pending, theta in delta:
+        out.add((pending.restrict([t for t in pending if t in tids]),
+                 theta.restrict([x for x in theta if x in avars])))
+    return frozenset(out)
+
+
+def delta_star(d1: Delta, d2: Delta) -> Optional[Delta]:
+    """``Δ1 * Δ2`` (Fig. 8) — ``None`` if domains overlap."""
+
+    out = set()
+    for (u1, t1) in d1:
+        for (u2, t2) in d2:
+            if not (u1.disjoint(u2) and t1.disjoint(t2)):
+                return None
+            out.add((u1.union(u2), t1.union(t2)))
+    return frozenset(out)
+
+
+def delta_factorizations(delta: Delta) -> Iterable[Tuple[Delta, Delta]]:
+    """All ``(Δ1, Δ2)`` with ``Δ1 * Δ2 = Δ``, by domain splitting.
+
+    Requires Δ to be domain-exact (Fig. 7), which every Δ arising in the
+    instrumented semantics is.
+    """
+
+    if not delta:
+        return
+    u0, t0 = next(iter(delta))
+    tids = tuple(u0.keys())
+    avars = tuple(t0.keys())
+    for tid_left in _subsets(tids):
+        for avar_left in _subsets(avars):
+            tl, al = frozenset(tid_left), frozenset(avar_left)
+            tr = frozenset(tids) - tl
+            ar = frozenset(avars) - al
+            d1 = _project(delta, tl, al)
+            d2 = _project(delta, tr, ar)
+            if delta_star(d1, d2) == delta:
+                yield d1, d2
+
+
+def delta_unions(delta: Delta) -> Iterable[Tuple[Delta, Delta]]:
+    """All ``(Δ1, Δ2)`` with ``Δ1 ∪ Δ2 = Δ`` and both non-empty."""
+
+    items = tuple(delta)
+    for left in _subsets(items):
+        if not left:
+            continue
+        left_set = frozenset(left)
+        rest = frozenset(items) - left_set
+        for extra in _subsets(tuple(left_set)):
+            right = rest | frozenset(extra)
+            if right:
+                yield left_set, right
+
+
+# ---------------------------------------------------------------------------
+# Satisfaction (Fig. 8)
+# ---------------------------------------------------------------------------
+
+
+def sat(state: RelState, assertion: Assertion) -> bool:
+    """``Σ ⊨ p``."""
+
+    sigma, delta = state.sigma, state.delta
+    if isinstance(assertion, TrueA):
+        return True
+    if isinstance(assertion, FalseA):
+        return False
+    if isinstance(assertion, EmpA):
+        return len(sigma) == 0 and delta == UNIT
+    if isinstance(assertion, EqA):
+        if delta != UNIT:
+            return False
+        want = (assertion.left.free_vars()
+                | assertion.right.free_vars())
+        if frozenset(sigma.keys()) != want:
+            return False
+        try:
+            look = lambda n: sigma[n]
+            return (eval_expr(assertion.left, look)
+                    == eval_expr(assertion.right, look))
+        except EvalError:
+            return False
+    if isinstance(assertion, PointsTo):
+        if delta != UNIT:
+            return False
+        fv = assertion.addr.free_vars() | assertion.value.free_vars()
+        var_part = [k for k in sigma if isinstance(k, str)]
+        if frozenset(var_part) != fv:
+            return False
+        heap_part = [k for k in sigma if isinstance(k, int)]
+        if len(heap_part) != 1:
+            return False
+        try:
+            look = lambda n: sigma[n]
+            addr = eval_expr(assertion.addr, look)
+            value = eval_expr(assertion.value, look)
+        except EvalError:
+            return False
+        (cell,) = heap_part
+        return cell == addr and sigma[cell] == value
+    if isinstance(assertion, AbsCell):
+        value = exact_eval(assertion.value, sigma)
+        if value is None:
+            return False
+        return delta == frozenset(
+            {(Store(), Store({assertion.var: value}))})
+    if isinstance(assertion, ThreadPendingA):
+        return _sat_thread(sigma, delta, assertion.tid, assertion.arg,
+                           lambda arg: ("op", assertion.method, arg))
+    if isinstance(assertion, ThreadEndA):
+        return _sat_thread(sigma, delta, assertion.tid, assertion.ret,
+                           lambda ret: ("end", ret))
+    if isinstance(assertion, Star):
+        for s1, s2 in sigma_splits(sigma):
+            for d1, d2 in delta_factorizations(delta):
+                if (sat(RelState(s1, d1), assertion.left)
+                        and sat(RelState(s2, d2), assertion.right)):
+                    return True
+        return False
+    if isinstance(assertion, OPlus):
+        for d1, d2 in delta_unions(delta):
+            if (sat(RelState(sigma, d1), assertion.left)
+                    and sat(RelState(sigma, d2), assertion.right)):
+                return True
+        return False
+    if isinstance(assertion, OrA):
+        return (sat(state, assertion.left)
+                or sat(state, assertion.right))
+    raise TypeError(f"unknown assertion {assertion!r}")
+
+
+def _sat_thread(sigma: Store, delta: Delta, tid_expr: Expr,
+                val_expr: Expr, make_op) -> bool:
+    """Shared semantics of ``E1 ↣ Υ`` (Fig. 8): σ = σ1 ⊎ σ2 evaluating
+    the two expressions, Δ the singleton speculation."""
+
+    for s1, s2 in sigma_splits(sigma):
+        tid = exact_eval(tid_expr, s1)
+        val = exact_eval(val_expr, s2)
+        if tid is None or val is None:
+            continue
+        if delta == frozenset({(Store({tid: make_op(val)}), Store())}):
+            return True
+    return False
+
+
+def spec_exact(assertion: Assertion,
+               universe: Iterable[RelState]) -> bool:
+    """``SpecExact(p)`` (Fig. 8) decided over a finite state universe:
+    all satisfying states agree on Δ."""
+
+    deltas = {state.delta for state in universe if sat(state, assertion)}
+    return len(deltas) <= 1

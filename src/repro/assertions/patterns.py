@@ -1,0 +1,226 @@
+"""Speculation patterns — the assertion fragment used by ``commit(p)``.
+
+Every ``commit`` in the paper (Figs. 1, 12; Secs. 6.1-6.3) uses ``p`` of
+the shape
+
+    (t1 ↣ Υ1 * ... * x ⤇ E * ...) ⊕ ... ⊕ (tk ↣ Υk * ...)
+
+i.e. an ⊕-combination of conjunctions of *speculation constraints*: a
+thread's remaining abstract operation (``E1 ↣ (γ, E2)`` /
+``E1 ↣ (end, E2)``) and abstract-object cells (``x ⤇ E``).  Such a ``p``
+is speculation-exact (``SpecExact(p)``, Fig. 8) by construction.
+
+This module implements that fragment:
+
+* constraint atoms (:class:`ThreadIs`, :class:`ThreadDone`,
+  :class:`AbsIs`, ...), evaluated against one speculation ``(U, θ)``
+  under a variable environment (the executing thread's σ_l ⊎ σ_o);
+* :class:`SpecPattern` — one ⊕-branch (a ``*``-conjunction of atoms);
+* :class:`CommitAssertion` — the full ``p``;
+* the commit filter ``(σ, Δ)|_p`` of Fig. 11, with the paper's locality:
+  speculations may contain *extra* threads and abstract cells beyond the
+  ones ``p`` mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+from ..errors import AssertionSyntaxError, EvalError
+from ..lang.ast import Const, Expr
+from ..semantics.eval import Lookup, eval_expr
+from ..instrument.state import Delta, Speculation, is_end
+
+ExprLike = Union[Expr, int]
+
+
+def _expr(x: ExprLike) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, int):
+        return Const(x)
+    raise AssertionSyntaxError(f"cannot use {x!r} as an expression")
+
+
+@dataclass(frozen=True)
+class Raw:
+    """A literal abstract value (for non-integer θ entries like tuples)."""
+
+    value: object
+
+
+class SpecConstraint:
+    """One atom of a speculation pattern."""
+
+    def holds(self, pair: Speculation, lookup: Lookup) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ThreadIs(SpecConstraint):
+    """``E1 ↣ (γ_method, E2)`` — ``E1``'s operation is still pending."""
+
+    tid: ExprLike
+    method: str
+    arg: Optional[ExprLike] = None
+
+    def holds(self, pair: Speculation, lookup: Lookup) -> bool:
+        pending, _ = pair
+        tid = eval_expr(_expr(self.tid), lookup)
+        op = pending.get(tid)
+        if op is None or is_end(op):
+            return False
+        if op[1] != self.method:
+            return False
+        if self.arg is not None and op[2] != eval_expr(_expr(self.arg), lookup):
+            return False
+        return True
+
+    def __str__(self) -> str:
+        arg = self.arg if self.arg is not None else "_"
+        return f"{self.tid} >-> ({self.method}, {arg})"
+
+
+@dataclass(frozen=True)
+class ThreadDone(SpecConstraint):
+    """``E1 ↣ (end, E2)`` — ``E1``'s operation finished, returning ``E2``.
+
+    ``ret=None`` leaves the return value unconstrained (``t ↣ (end, _)``).
+    """
+
+    tid: ExprLike
+    ret: Optional[ExprLike] = None
+
+    def holds(self, pair: Speculation, lookup: Lookup) -> bool:
+        pending, _ = pair
+        tid = eval_expr(_expr(self.tid), lookup)
+        op = pending.get(tid)
+        if op is None or not is_end(op):
+            return False
+        if self.ret is not None and op[1] != eval_expr(_expr(self.ret), lookup):
+            return False
+        return True
+
+    def __str__(self) -> str:
+        ret = self.ret if self.ret is not None else "_"
+        return f"{self.tid} >-> (end, {ret})"
+
+
+@dataclass(frozen=True)
+class AbsIs(SpecConstraint):
+    """``x ⤇ E`` — the abstract object maps ``x`` to the given value.
+
+    The value is an expression (evaluated in the thread environment) or a
+    :class:`Raw` literal abstract value.
+    """
+
+    var: str
+    value: Union[ExprLike, Raw]
+
+    def holds(self, pair: Speculation, lookup: Lookup) -> bool:
+        _, theta = pair
+        if self.var not in theta:
+            return False
+        if isinstance(self.value, Raw):
+            want = self.value.value
+        else:
+            want = eval_expr(_expr(self.value), lookup)
+        return theta[self.var] == want
+
+    def __str__(self) -> str:
+        v = self.value.value if isinstance(self.value, Raw) else self.value
+        return f"{self.var} |=> {v}"
+
+
+@dataclass(frozen=True)
+class AbsSat(SpecConstraint):
+    """A semantic constraint on the abstract object: ``func(θ, lookup)``.
+
+    Escape hatch for abstract-object conditions that are not simple cell
+    equalities (e.g. "the abstract queue is empty").  ``describe`` is used
+    for diagnostics.
+    """
+
+    func: Callable
+    describe: str = "<abs predicate>"
+
+    def holds(self, pair: Speculation, lookup: Lookup) -> bool:
+        return bool(self.func(pair[1], lookup))
+
+    def __str__(self) -> str:
+        return self.describe
+
+
+@dataclass(frozen=True)
+class SpecPattern:
+    """One ⊕-branch: a ``*``-conjunction of constraints."""
+
+    constraints: Tuple[SpecConstraint, ...]
+
+    def matches(self, pair: Speculation, lookup: Lookup) -> bool:
+        try:
+            return all(c.holds(pair, lookup) for c in self.constraints)
+        except EvalError:
+            return False
+
+    def __str__(self) -> str:
+        return " * ".join(str(c) for c in self.constraints) or "true"
+
+
+def pattern(*constraints: SpecConstraint) -> SpecPattern:
+    return SpecPattern(tuple(constraints))
+
+
+@dataclass(frozen=True)
+class CommitAssertion:
+    """``p = pattern_1 ⊕ ... ⊕ pattern_k`` — speculation-exact by shape."""
+
+    patterns: Tuple[SpecPattern, ...]
+
+    def __str__(self) -> str:
+        return " (+) ".join(f"({p})" for p in self.patterns)
+
+
+def commit_p(*patterns: SpecPattern) -> CommitAssertion:
+    if not patterns:
+        raise AssertionSyntaxError("commit(p) needs at least one pattern")
+    return CommitAssertion(tuple(patterns))
+
+
+@dataclass
+class CommitOutcome:
+    """Result of the filter ``(σ, Δ)|_p``."""
+
+    kept: Delta
+    ok: bool
+    reason: str = ""
+
+
+def commit_filter(assertion: CommitAssertion, delta: Delta,
+                  lookup: Lookup) -> CommitOutcome:
+    """``(σ, Δ)|_p`` (Fig. 11): keep the speculations consistent with ``p``.
+
+    With the paper's locality, a speculation is consistent when it
+    *extends* one of the ⊕-branches.  The filter fails (the ``commit``
+    command is stuck — a verification failure) when no speculation
+    matches, or when some ⊕-branch has no witness (``p`` must hold of the
+    filtered state, and ⊕ means *both* sides are present).
+    """
+
+    kept = set()
+    matched = [False] * len(assertion.patterns)
+    for pair in delta:
+        for i, pat in enumerate(assertion.patterns):
+            if pat.matches(pair, lookup):
+                kept.add(pair)
+                matched[i] = True
+    if not kept:
+        return CommitOutcome(frozenset(), False,
+                             f"no speculation satisfies {assertion}")
+    for i, hit in enumerate(matched):
+        if not hit:
+            return CommitOutcome(
+                frozenset(kept), False,
+                f"⊕-branch {assertion.patterns[i]} has no witness")
+    return CommitOutcome(frozenset(kept), True)

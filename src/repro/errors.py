@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro toolkit.
+
+Every error raised by the toolkit derives from :class:`ReproError` so that
+callers can catch toolkit failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolkit."""
+
+
+class LanguageError(ReproError):
+    """Malformed program construction (bad AST, unknown method, ...)."""
+
+
+class ParseError(LanguageError):
+    """Raised by the concrete-syntax parser on invalid input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EvalError(ReproError):
+    """Expression evaluation failed (unbound variable, bad operand...).
+
+    At the semantics level this surfaces as a thread *abort* (the paper's
+    ``(t, obj, abort)`` / ``(t, clt, abort)`` events), not a Python crash.
+    """
+
+
+class SemanticsError(ReproError):
+    """Internal violation of the operational semantics (a toolkit bug)."""
+
+
+class SpecError(ReproError):
+    """Abstract operation misuse (unknown method, ill-typed result...)."""
+
+
+class InstrumentationError(ReproError):
+    """Auxiliary command executed in a state where its rule does not apply.
+
+    The paper prevents stuck auxiliary commands via the program logic; the
+    runner reports them as verification failures instead of crashing.
+    """
+
+
+class AssertionSyntaxError(ReproError):
+    """Malformed relational assertion or rely/guarantee action."""
+
+
+class VerificationError(ReproError):
+    """A verification obligation failed (with an explanatory message)."""
+
+
+class BoundExceeded(ReproError):
+    """Exploration exceeded its configured limits."""

@@ -1,0 +1,34 @@
+"""Linearizability of histories and objects (Sec. 3.2, Defs. 1-2)."""
+
+from .linearize import (
+    LinearizationResult,
+    LinearizationStep,
+    find_linearization,
+    is_linearizable_history,
+    linearization_order,
+)
+from .object_lin import (
+    ObjectLinResult,
+    check_object_linearizable,
+    check_program_linearizable,
+)
+from .wellformed import (
+    Operation,
+    completions,
+    is_complete,
+    is_history,
+    is_sequential,
+    is_well_formed,
+    operations_of,
+    pending_invocations,
+)
+
+__all__ = [
+    "LinearizationResult", "LinearizationStep", "find_linearization",
+    "is_linearizable_history", "linearization_order",
+    "ObjectLinResult", "check_object_linearizable",
+    "check_program_linearizable",
+    "Operation", "completions", "is_complete", "is_history",
+    "is_sequential", "is_well_formed", "operations_of",
+    "pending_invocations",
+]

@@ -1,0 +1,194 @@
+"""Definition 2 — bounded object linearizability checking.
+
+``Π ≼_φ Γ`` quantifies over all clients and initial states.  The bounded
+check explores the most-general client (every interleaving of ``threads``
+threads each performing ``ops`` nondeterministic calls from a menu) and
+verifies that *every* reachable history is linearizable w.r.t. Γ.
+
+Two engines are provided:
+
+* :func:`check_program_linearizable` — the main engine: a product
+  exploration of the program's configuration graph with the forward
+  :class:`~repro.history.monitor.SpecMonitor`.  Nodes are deduplicated on
+  ``(configuration, monitor state)``, which collapses the exponentially
+  many interleaving paths that reach the same state.
+* :func:`check_program_linearizable_definitional` — the literal Def-1/2
+  pipeline (collect histories, check each by backtracking search).  It is
+  exponentially slower and kept as the definitional baseline; the E10
+  scaling bench compares the two.
+
+The refinement-mapping side condition ``φ(σ_o) = θ`` of Definition 2 is
+checked on the initial object memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..lang.program import ObjectImpl, Program
+from ..memory.store import Store
+from ..semantics.events import Trace, format_trace
+from ..semantics.mgc import CallMenu, mgc_program
+from ..semantics.scheduler import Config, Explorer, Limits, explore, initial_config
+from ..spec.gamma import OSpec
+from ..spec.refmap import RefMap
+from .linearize import find_linearization
+from .monitor import SpecMonitor, StateSet
+
+
+@dataclass
+class ObjectLinResult:
+    """Outcome of a bounded Definition-2 check."""
+
+    ok: bool
+    histories_checked: int = 0
+    nodes_explored: int = 0
+    bounded: bool = False
+    aborted: bool = False
+    counterexample: Optional[Trace] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        status = "LINEARIZABLE" if self.ok else "NOT LINEARIZABLE"
+        extra = " (bounded)" if self.bounded else ""
+        msg = (f"{status}{extra}: {self.nodes_explored} product states, "
+               f"{self.histories_checked} histories")
+        if self.counterexample is not None:
+            msg += f"; counterexample: {format_trace(self.counterexample)}"
+        if self.reason:
+            msg += f" [{self.reason}]"
+        return msg
+
+
+def check_program_linearizable(program: Program, spec: OSpec,
+                               limits: Optional[Limits] = None,
+                               theta=None) -> ObjectLinResult:
+    """Product exploration: program configurations × speculation monitor."""
+
+    limits = limits or Limits()
+    monitor = SpecMonitor(spec)
+    explorer = Explorer(program)
+    states0 = monitor.initial(theta)
+    out = ObjectLinResult(ok=True)
+
+    seen: Set[Tuple[Config, StateSet]] = set()
+    # Stack entries carry the history for counterexample reporting only;
+    # it is *not* part of the dedup key.
+    stack: List[Tuple[Config, StateSet, Trace, int]] = []
+    for start in explorer.initial_nodes():
+        if (start, states0) not in seen:
+            seen.add((start, states0))
+            stack.append((start, states0, (), 0))
+    distinct_histories: Set[Trace] = {()}
+
+    while stack:
+        config, states, hist, depth = stack.pop()
+        out.nodes_explored += 1
+        if out.nodes_explored > limits.max_nodes:
+            out.bounded = True
+            break
+        if depth >= limits.max_depth:
+            out.bounded = True
+            continue
+        for next_config, event in explorer._expand(config):
+            new_states = states
+            new_hist = hist
+            if event is not None and event.is_object_event:
+                new_states = monitor.step(states, event)
+                new_hist = hist + (event,)
+                distinct_histories.add(new_hist)
+                if not new_states:
+                    out.ok = False
+                    out.counterexample = new_hist
+                    out.reason = "history has no legal linearization"
+                    out.histories_checked = len(distinct_histories)
+                    return out
+            if next_config is None:
+                out.aborted = True
+                if event is not None and event.is_object_event:
+                    out.ok = False
+                    out.counterexample = new_hist
+                    out.reason = "object code aborted"
+                    out.histories_checked = len(distinct_histories)
+                    return out
+                continue
+            key = (next_config, new_states)
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.append((next_config, new_states, new_hist, depth + 1))
+    out.histories_checked = len(distinct_histories)
+    return out
+
+
+def check_program_linearizable_definitional(
+        program: Program, spec: OSpec,
+        limits: Optional[Limits] = None) -> ObjectLinResult:
+    """The literal Definition-2 pipeline (baseline; exponentially slower).
+
+    Collects the prefix-closed history set and checks each maximal history
+    by the Def-1 backtracking search.
+    """
+
+    result = explore(program, limits)
+    out = ObjectLinResult(ok=True, bounded=result.bounded,
+                          aborted=result.aborted,
+                          nodes_explored=result.nodes)
+    if result.aborted:
+        out.ok = False
+        out.reason = "some execution aborts (object or client fault)"
+    # Linearizability is prefix-closed and the explored history set is
+    # prefix-closed by construction, so the maximal histories cover all.
+    for history in maximal_histories(result.histories):
+        out.histories_checked += 1
+        lin = find_linearization(history, spec)
+        if not lin.ok:
+            out.ok = False
+            out.counterexample = history
+            out.reason = lin.reason
+            break
+    return out
+
+
+def maximal_histories(histories) -> Tuple[Trace, ...]:
+    """Histories that are not a strict prefix of another in the set.
+
+    Assumes the input set is prefix-closed (as produced by the explorer).
+    """
+
+    non_maximal = {h[:-1] for h in histories if h}
+    return tuple(sorted((h for h in histories if h not in non_maximal),
+                        key=len, reverse=True))
+
+
+def check_object_linearizable(impl: ObjectImpl, spec: OSpec, menu: CallMenu,
+                              threads: int = 2, ops_per_thread: int = 2,
+                              limits: Optional[Limits] = None,
+                              phi: Optional[RefMap] = None,
+                              definitional: bool = False) -> ObjectLinResult:
+    """Bounded ``Π ≼_φ Γ`` via the most-general client.
+
+    When ``phi`` is given, the initial-state side condition ``φ(σ_o) = θ``
+    is verified first.
+    """
+
+    if phi is not None:
+        theta = phi.of(Store(impl.initial_memory))
+        if theta is None:
+            return ObjectLinResult(
+                ok=False,
+                reason="φ(σ_o) undefined: initial object memory malformed")
+        if theta != spec.initial:
+            return ObjectLinResult(
+                ok=False,
+                reason=f"φ(σ_o) = {theta!r} differs from Γ's initial "
+                       f"abstract object {spec.initial!r}")
+    program = mgc_program(impl, menu, threads=threads,
+                          ops_per_thread=ops_per_thread)
+    if definitional:
+        return check_program_linearizable_definitional(program, spec, limits)
+    return check_program_linearizable(program, spec, limits)

@@ -1,0 +1,161 @@
+"""Histories: well-formedness, completeness, completions (Sec. 3.2).
+
+A *history* is an event trace containing only object events (invocations,
+returns and object faults).  This module implements the paper's
+vocabulary:
+
+* ``H|_t`` — :func:`~repro.semantics.events.thread_sub`;
+* *sequential*, *well-formed*, *complete* histories;
+* *pending* invocations and ``completions(H)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..semantics.events import (
+    Event,
+    InvokeEvent,
+    ObjAbortEvent,
+    ReturnEvent,
+    Trace,
+    thread_sub,
+)
+
+
+def is_history(trace: Sequence[Event]) -> bool:
+    """All events are object events."""
+
+    return all(e.is_object_event for e in trace)
+
+
+def is_sequential(history: Sequence[Event]) -> bool:
+    """First event is an invocation; each invocation except possibly the
+    last is immediately followed by a matching response (Sec. 3.2)."""
+
+    if not history:
+        return True
+    if not history[0].is_invocation:
+        return False
+    i = 0
+    n = len(history)
+    while i < n:
+        if not history[i].is_invocation:
+            return False
+        if i + 1 < n:
+            nxt = history[i + 1]
+            if not (nxt.is_response and nxt.thread == history[i].thread):
+                return False
+            i += 2
+        else:
+            i += 1  # a trailing pending invocation is allowed
+    return True
+
+
+def is_well_formed(history: Sequence[Event]) -> bool:
+    """``H|_t`` is sequential for every thread t."""
+
+    threads = {e.thread for e in history}
+    return all(is_sequential(thread_sub(history, t)) for t in threads)
+
+
+def pending_invocations(history: Sequence[Event]) -> Tuple[InvokeEvent, ...]:
+    """Invocations with no matching (same-thread) response following them."""
+
+    pending = {}
+    for e in history:
+        if e.is_invocation:
+            pending[e.thread] = e
+        elif e.is_response:
+            pending.pop(e.thread, None)
+    return tuple(pending.values())
+
+
+def is_complete(history: Sequence[Event]) -> bool:
+    """Well-formed and every invocation has a matching response."""
+
+    return is_well_formed(history) and not pending_invocations(history)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One method call extracted from a history.
+
+    ``ret`` is ``None`` for pending operations; ``res_index`` is then
+    treated as +∞ by interval reasoning.  ``aborted`` marks operations
+    whose response is an object fault.
+    """
+
+    op_id: int
+    thread: int
+    method: str
+    arg: int
+    ret: Optional[int]
+    inv_index: int
+    res_index: Optional[int]
+    aborted: bool = False
+
+    @property
+    def pending(self) -> bool:
+        return self.res_index is None
+
+
+def operations_of(history: Sequence[Event]) -> Tuple[Operation, ...]:
+    """Pair invocations with their matching responses.
+
+    Requires a well-formed history.
+    """
+
+    ops: List[Operation] = []
+    open_by_thread = {}
+    for idx, e in enumerate(history):
+        if e.is_invocation:
+            op = Operation(len(ops), e.thread, e.method, e.arg, None, idx, None)
+            open_by_thread[e.thread] = len(ops)
+            ops.append(op)
+        elif isinstance(e, ReturnEvent):
+            i = open_by_thread.pop(e.thread)
+            old = ops[i]
+            ops[i] = Operation(old.op_id, old.thread, old.method, old.arg,
+                               e.value, old.inv_index, idx)
+        elif isinstance(e, ObjAbortEvent):
+            i = open_by_thread.pop(e.thread, None)
+            if i is not None:
+                old = ops[i]
+                ops[i] = Operation(old.op_id, old.thread, old.method,
+                                   old.arg, None, old.inv_index, idx,
+                                   aborted=True)
+    return tuple(ops)
+
+
+def completions(history: Sequence[Event],
+                return_values: Iterable[int]) -> Iterable[Trace]:
+    """``completions(H)``: all ways of completing ``H`` (Sec. 3.2).
+
+    Append matching responses (drawn from ``return_values``) for a subset
+    of pending invocations and drop the remaining pending invocations.
+    This explicit enumeration exists for tests and for the definitional
+    API; the Def-1 checker in :mod:`repro.history.linearize` treats
+    pending operations symbolically and does not enumerate values.
+    """
+
+    values = tuple(return_values)
+    pend = pending_invocations(history)
+
+    def drop(trace: Sequence[Event], dropped: Set[InvokeEvent]) -> Trace:
+        return tuple(e for e in trace if e not in dropped)
+
+    def rec(i: int, completed: Tuple[Event, ...], dropped: Set[InvokeEvent]):
+        if i == len(pend):
+            yield drop(tuple(completed), dropped)
+            return
+        inv = pend[i]
+        # Option 1: drop the pending invocation.
+        yield from rec(i + 1, completed, dropped | {inv})
+        # Option 2: append a matching response with some value.
+        for v in values:
+            yield from rec(i + 1, completed + (ReturnEvent(inv.thread, v),),
+                           dropped)
+
+    yield from rec(0, tuple(history), set())

@@ -1,0 +1,69 @@
+"""Instrumented language, relational states and the verification runner.
+
+This package implements the paper's core machinery: the auxiliary state Δ
+(speculation sets over pending thread pools and abstract objects, Fig. 7),
+the auxiliary commands and their semantics (Fig. 11), erasure, and the
+exhaustive instrumented-object checker.
+"""
+
+from .commands import (
+    AUX_STMTS,
+    Commit,
+    Ghost,
+    Lin,
+    LinSelf,
+    TryLin,
+    TryLinReadOnly,
+    TryLinSelf,
+    commit,
+    ghost,
+    lin,
+    linself,
+    trylin,
+    trylin_readonly,
+    trylinself,
+)
+from .erase import check_erasure, erase, erased_equal, normalize
+from .runner import (
+    FailureRecord,
+    IConfig,
+    InstrumentedMethod,
+    InstrumentedObject,
+    InstrumentedRunResult,
+    InstrumentedRunner,
+    verify_instrumented,
+)
+from .semantics import AuxStuck, InstrCtx, instrumented_handler
+from .state import (
+    AbsOp,
+    Delta,
+    PendThrds,
+    Speculation,
+    delta_add_thread,
+    delta_lin,
+    delta_remove_thread,
+    delta_trylin,
+    delta_trylin_readonly,
+    dom_exact,
+    end_of,
+    is_end,
+    op_of,
+    return_values,
+    singleton_delta,
+    spec_step_thread,
+)
+
+__all__ = [
+    "AUX_STMTS", "Commit", "Ghost", "Lin", "LinSelf", "TryLin",
+    "TryLinReadOnly", "TryLinSelf", "commit", "ghost", "lin", "linself",
+    "trylin", "trylin_readonly", "trylinself",
+    "check_erasure", "erase", "erased_equal", "normalize",
+    "FailureRecord", "IConfig", "InstrumentedMethod", "InstrumentedObject",
+    "InstrumentedRunResult", "InstrumentedRunner", "verify_instrumented",
+    "AuxStuck", "InstrCtx", "instrumented_handler",
+    "AbsOp", "Delta", "PendThrds", "Speculation", "delta_add_thread",
+    "delta_lin", "delta_remove_thread", "delta_trylin",
+    "delta_trylin_readonly", "dom_exact",
+    "end_of", "is_end", "op_of", "return_values", "singleton_delta",
+    "spec_step_thread",
+]

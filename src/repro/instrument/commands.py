@@ -1,0 +1,188 @@
+"""Auxiliary commands of the instrumented language (Fig. 7).
+
+``linself``, ``lin(E)``, ``trylinself``, ``trylin(E)`` and ``commit(p)``
+update only the auxiliary state Δ; :class:`Ghost` wraps ordinary
+statements that exist purely to support the instrumentation (e.g. reading
+a descriptor field into an auxiliary variable so a ``commit`` pattern can
+mention it).  Ghost statements may only write underscore-prefixed
+variables, which guarantees the instrumentation cannot influence the
+original program (Sec. 4.4, "semantics preservation by the
+instrumentation"); :func:`repro.instrument.erase.erase` removes all of
+these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..errors import InstrumentationError
+from ..lang.ast import (
+    Alloc,
+    Assign,
+    Dispose,
+    Expr,
+    If,
+    Load,
+    NondetChoice,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    While,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with assertions
+    from ..assertions.patterns import CommitAssertion
+
+
+@dataclass(frozen=True, eq=False)
+class LinSelf(Stmt):
+    """``linself`` — execute the current thread's abstract operation."""
+
+    def __str__(self) -> str:
+        return "linself"
+
+
+@dataclass(frozen=True, eq=False)
+class Lin(Stmt):
+    """``lin(E)`` — execute the abstract operation of thread ``E``."""
+
+    tid: Expr
+
+    def __str__(self) -> str:
+        return f"lin({self.tid})"
+
+
+@dataclass(frozen=True, eq=False)
+class TryLinSelf(Stmt):
+    """``trylinself`` — speculatively execute the current thread's op."""
+
+    def __str__(self) -> str:
+        return "trylinself"
+
+
+@dataclass(frozen=True, eq=False)
+class TryLin(Stmt):
+    """``trylin(E)`` — speculatively execute thread ``E``'s op."""
+
+    tid: Expr
+
+    def __str__(self) -> str:
+        return f"trylin({self.tid})"
+
+
+@dataclass(frozen=True, eq=False)
+class TryLinReadOnly(Stmt):
+    """``trylin`` every pending operation of ``method`` that is read-only.
+
+    Derived sugar for a bounded set of ``trylin(E)`` commands: for every
+    thread ``t`` whose pending abstract operation is ``(γ_method, n)``
+    *and* whose γ does not change the abstract object in the current
+    speculation, add the speculation where it has taken effect; saturate
+    under combinations.  The read-only restriction keeps the speculations
+    introduced on behalf of *other* threads free of abstract-object
+    divergence, so they can never poison an unrelated thread's return
+    check.
+
+    This is how mutators "help" linearize overlapped read-only operations
+    (failed ``contains``/``add``/``remove`` in the list algorithms) whose
+    LPs land inside the mutator's atomic step — the paper's Helping +
+    future-dependent-LP combination for Heller et al.'s lazy set and the
+    Harris-Michael list.
+    """
+
+    method: str
+
+    def __str__(self) -> str:
+        return f"trylin_ro({self.method})"
+
+
+@dataclass(frozen=True, eq=False)
+class Commit(Stmt):
+    """``commit(p)`` — keep only the speculations consistent with ``p``."""
+
+    assertion: "CommitAssertion"
+
+    def __str__(self) -> str:
+        return f"commit({self.assertion})"
+
+
+def _check_ghost_writes(stmt: Stmt) -> None:
+    if isinstance(stmt, (Assign, Load, Alloc, NondetChoice)):
+        if not stmt.var.startswith("_"):
+            raise InstrumentationError(
+                f"ghost statement writes non-auxiliary variable {stmt.var!r}"
+                " (auxiliary variables must start with '_')")
+        return
+    if isinstance(stmt, (Store, Dispose)):
+        raise InstrumentationError(
+            "ghost statements may not write the heap")
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _check_ghost_writes(s)
+        return
+    if isinstance(stmt, If):
+        _check_ghost_writes(stmt.then)
+        _check_ghost_writes(stmt.els)
+        return
+    if isinstance(stmt, While):
+        _check_ghost_writes(stmt.body)
+        return
+    if isinstance(stmt, Skip):
+        return
+    if isinstance(stmt, AUX_STMTS):
+        return
+    raise InstrumentationError(
+        f"statement {stmt} is not allowed inside ghost code")
+
+
+@dataclass(frozen=True, eq=False)
+class Ghost(Stmt):
+    """Auxiliary concrete code: reads anything, writes only ``_``-vars."""
+
+    stmt: Stmt
+
+    def __post_init__(self):
+        _check_ghost_writes(self.stmt)
+
+    def __str__(self) -> str:
+        return f"ghost({self.stmt})"
+
+
+AUX_STMTS = (LinSelf, Lin, TryLinSelf, TryLin, TryLinReadOnly, Commit, Ghost)
+
+
+def linself() -> Stmt:
+    return LinSelf()
+
+
+def lin(tid: Union[Expr, int, str]) -> Stmt:
+    from ..lang.builders import E
+
+    return Lin(E(tid))
+
+
+def trylinself() -> Stmt:
+    return TryLinSelf()
+
+
+def trylin(tid: Union[Expr, int, str]) -> Stmt:
+    from ..lang.builders import E
+
+    return TryLin(E(tid))
+
+
+def trylin_readonly(method: str) -> Stmt:
+    return TryLinReadOnly(method)
+
+
+def commit(assertion: "CommitAssertion") -> Stmt:
+    return Commit(assertion)
+
+
+def ghost(*stmts: Stmt) -> Stmt:
+    from ..lang.ast import seq
+
+    return Ghost(seq(*stmts))

@@ -1,0 +1,100 @@
+"""Erasure ``Er(C̃)`` — strip the instrumentation (Lemma 7).
+
+Erasing removes the auxiliary commands (``linself``, ``lin``, ``trylin``,
+``trylinself``, ``commit``) and :class:`~repro.instrument.commands.Ghost`
+code, then normalises the result (flattening sequences, dropping ``skip``
+and branch-free conditionals) so it can be compared structurally with the
+original method body.
+
+Because auxiliary commands never touch the physical state σ nor the
+control flow (ghost code writes only ``_``-variables that original code
+cannot read), the instrumentation preserves program behaviour; the
+``check_erasure`` helper verifies the syntactic half of that claim, and
+the E2 bench verifies the behavioural half by comparing history sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang.ast import (
+    Atomic,
+    If,
+    PRIMITIVE_STMTS,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+    seq,
+    structural_eq,
+)
+from ..lang.program import MethodDef
+from .commands import AUX_STMTS
+
+
+def erase(stmt: Stmt) -> Stmt:
+    """``Er(C̃)`` — remove auxiliary commands, then normalise."""
+
+    return normalize(_erase(stmt))
+
+
+def _erase(stmt: Stmt) -> Stmt:
+    if isinstance(stmt, AUX_STMTS):
+        return Skip()
+    if isinstance(stmt, Seq):
+        return Seq(tuple(_erase(s) for s in stmt.stmts))
+    if isinstance(stmt, If):
+        return If(stmt.cond, _erase(stmt.then), _erase(stmt.els))
+    if isinstance(stmt, While):
+        return While(stmt.cond, _erase(stmt.body))
+    if isinstance(stmt, Atomic):
+        return Atomic(_erase(stmt.body))
+    return stmt
+
+
+def normalize(stmt: Stmt) -> Stmt:
+    """Flatten sequences, drop ``skip``, collapse no-op conditionals.
+
+    ``if (B) skip else skip`` normalises to ``skip`` (conditions have no
+    side effects in this language); an atomic block whose body normalises
+    to ``skip`` is dropped.
+    """
+
+    if isinstance(stmt, Seq):
+        return seq(*(normalize(s) for s in stmt.stmts))
+    if isinstance(stmt, If):
+        then = normalize(stmt.then)
+        els = normalize(stmt.els)
+        if isinstance(then, Skip) and isinstance(els, Skip):
+            return Skip()
+        return If(stmt.cond, then, els)
+    if isinstance(stmt, While):
+        return While(stmt.cond, normalize(stmt.body))
+    if isinstance(stmt, Atomic):
+        body = normalize(stmt.body)
+        if isinstance(body, Skip):
+            return Skip()
+        if isinstance(body, PRIMITIVE_STMTS):
+            # ``<c>`` for a single primitive is the primitive: primitives
+            # already execute in one transition.
+            return body
+        return Atomic(body)
+    return stmt
+
+
+def erased_equal(instrumented: Stmt, original: Stmt) -> bool:
+    """``Er(C̃) = C`` up to normalisation."""
+
+    return structural_eq(erase(instrumented), normalize(original))
+
+
+def check_erasure(instrumented_body: Stmt, original: MethodDef,
+                  method_name: Optional[str] = None) -> Optional[str]:
+    """Return an error message when ``Er(C̃) ≠ C``, else ``None``."""
+
+    if erased_equal(instrumented_body, original.body):
+        return None
+    name = method_name or original.name
+    return (f"method {name}: erased instrumented body differs from the "
+            f"original:\n  erased:   {erase(instrumented_body)}\n"
+            f"  original: {normalize(original.body)}")

@@ -1,0 +1,448 @@
+"""Exhaustive checking of instrumented objects.
+
+An :class:`InstrumentedObject` packages the concrete methods *with their
+auxiliary instrumentation* (Fig. 1), the specification Γ, and the
+refinement mapping φ.  The :class:`InstrumentedRunner` explores every
+interleaving of a most-general client over the *instrumented* semantics
+(Fig. 11) and checks, on every reachable state, the operational
+obligations that the paper's logic discharges deductively:
+
+1. **No stuck auxiliary commands** — ``linself``/``lin(E)`` always finds a
+   pending operation, ``commit(p)`` never filters Δ to ∅, abstract
+   operations are never blocked.
+2. **Return consistency** — at ``return E`` every speculation agrees that
+   the current thread's operation has ended with value ``[[E]]`` (the
+   second rule of Fig. 11; the RET rule of Fig. 10).
+3. **No faults** — object code never aborts (Def. 5, condition 1(b)).
+4. **Domain exactness** of Δ (Fig. 7) is preserved.
+5. Optionally, a **linking invariant** ``I`` over ``(σ_o, Δ)`` holds at
+   every shared state, and every atomic step satisfies the **guarantee**
+   ``G`` (the boundary obligations of the ATOM/ATOM-R rules).
+
+A successful run is a constructive witness that every concrete history in
+the explored space has a legal linearization — the Δ evolution *is* the
+linearization witness, driven by the instrumentation instead of by
+search.  This is the operational content of Theorem 8 on the bounded
+state space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import BoundExceeded, InstrumentationError
+from ..lang.ast import Atomic, If, Noret, Return, Seq, Skip, Stmt, While
+from ..lang.program import MethodDef, ObjectImpl
+from ..memory.store import Store
+from ..semantics.eval import EvalError, eval_bool_in, eval_in
+from ..semantics.events import InvokeEvent, ReturnEvent, Trace
+from ..semantics.mgc import CallMenu
+from ..semantics.scheduler import Limits
+from ..semantics.thread import (
+    Env,
+    Fault,
+    Frame,
+    ThreadState,
+    expand_until_visible,
+    push_control,
+    run_block,
+)
+from ..spec.gamma import OSpec
+from ..spec.refmap import RefMap
+from .commands import AUX_STMTS
+from .erase import check_erasure
+from .semantics import AuxStuck, InstrCtx, instrumented_handler
+from .state import (
+    Delta,
+    delta_add_thread,
+    delta_remove_thread,
+    dom_exact,
+    end_of,
+    is_end,
+    op_of,
+    singleton_delta,
+)
+
+#: A view of the shared relational state ``(σ_o, Δ)`` for I and G checks.
+SharedView = Tuple[Store, Delta]
+
+#: ``I(σ_o, Δ)`` — return True, or False / a reason string on violation.
+Invariant = Callable[[Store, Delta], object]
+
+#: ``G(before, after, tid)`` — True iff the step is allowed.
+Guarantee = Callable[[SharedView, SharedView, int], bool]
+
+_NORET = Noret()
+_EMPTY = Store()
+
+
+@dataclass(frozen=True)
+class InstrumentedMethod:
+    """A method body carrying its auxiliary instrumentation."""
+
+    name: str
+    param: str
+    locals: Tuple[str, ...]
+    body: Stmt
+
+
+class InstrumentedObject:
+    """Instrumented implementation + specification + refinement mapping."""
+
+    def __init__(self, name: str,
+                 methods: Mapping[str, InstrumentedMethod],
+                 spec: OSpec,
+                 initial_memory: Optional[Mapping] = None,
+                 phi: Optional[RefMap] = None):
+        self.name = name
+        self.methods: Dict[str, InstrumentedMethod] = dict(methods)
+        self.spec = spec
+        self.initial_memory = dict(initial_memory or {})
+        self.phi = phi
+        for mname in self.methods:
+            if mname not in spec:
+                raise InstrumentationError(
+                    f"instrumented method {mname!r} has no abstract "
+                    f"operation in Γ")
+
+    def erased_impl(self) -> ObjectImpl:
+        """``Er`` applied methodwise — the plain concrete object."""
+
+        from .erase import erase
+
+        methods = {
+            m.name: MethodDef(m.name, m.param, m.locals, erase(m.body))
+            for m in self.methods.values()
+        }
+        return ObjectImpl(methods, self.initial_memory, name=self.name)
+
+    def check_erasure_against(self, impl: ObjectImpl) -> List[str]:
+        """``Er(C̃) = C`` for every method of ``impl``."""
+
+        problems = []
+        for mname, mdef in impl.methods.items():
+            if mname not in self.methods:
+                problems.append(f"method {mname!r} is not instrumented")
+                continue
+            msg = check_erasure(self.methods[mname].body, mdef, mname)
+            if msg:
+                problems.append(msg)
+        return problems
+
+
+@dataclass(frozen=True)
+class IConfig:
+    """Configuration of the instrumented machine."""
+
+    threads: Tuple[Tuple[ThreadState, int], ...]  # (state, ops_left)
+    sigma_o: Store
+    delta: Delta
+
+
+@dataclass
+class FailureRecord:
+    kind: str
+    message: str
+    history: Trace
+
+    def __str__(self) -> str:
+        from ..semantics.events import format_trace
+
+        return f"[{self.kind}] {self.message} (history: {format_trace(self.history)})"
+
+
+@dataclass
+class InstrumentedRunResult:
+    ok: bool = True
+    failures: List[FailureRecord] = field(default_factory=list)
+    nodes: int = 0
+    bounded: bool = False
+    histories: Set[Trace] = field(default_factory=set)
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.ok else "FAILED"
+        extra = " (bounded)" if self.bounded else ""
+        msg = (f"{status}{extra}: {self.nodes} instrumented states, "
+               f"{len(self.histories)} histories")
+        if self.failures:
+            msg += f"; first failure: {self.failures[0]}"
+        return msg
+
+
+class InstrumentedRunner:
+    """Explore an instrumented object under a most-general client."""
+
+    def __init__(self, iobj: InstrumentedObject, menu: CallMenu,
+                 threads: int = 2, ops_per_thread: int = 2,
+                 limits: Optional[Limits] = None,
+                 invariant: Optional[Invariant] = None,
+                 guarantee: Optional[Guarantee] = None,
+                 max_failures: int = 1,
+                 history_complete: bool = False):
+        self.iobj = iobj
+        self.menu = list(menu)
+        for method, _arg in self.menu:
+            if method not in iobj.methods:
+                raise InstrumentationError(
+                    f"workload calls unknown method {method!r}")
+        self.n_threads = threads
+        self.ops = ops_per_thread
+        self.limits = limits or Limits()
+        self.invariant = invariant
+        self.guarantee = guarantee
+        self.max_failures = max_failures
+        # When set, search nodes are deduplicated on (config, history) so
+        # that result.histories is the complete prefix-closed history set
+        # (needed by the instrumentation-preserves-behaviour experiment);
+        # by default histories are diagnostic only.
+        self.history_complete = history_complete
+
+    # -- obligations ---------------------------------------------------------
+
+    def _check_shared(self, result: InstrumentedRunResult,
+                      before: Optional[SharedView], after: SharedView,
+                      tid: int, hist: Trace) -> bool:
+        sigma_o, delta = after
+        if not delta:
+            result.failures.append(FailureRecord(
+                "empty-delta", "speculation set Δ became empty", hist))
+            return False
+        if not dom_exact(delta):
+            result.failures.append(FailureRecord(
+                "dom-exact", f"Δ lost domain-exactness: {delta!r}", hist))
+            return False
+        if self.invariant is not None:
+            verdict = self.invariant(sigma_o, delta)
+            if verdict is not True and verdict is not None:
+                reason = verdict if isinstance(verdict, str) else \
+                    "linking invariant I violated"
+                result.failures.append(FailureRecord(
+                    "invariant", reason, hist))
+                return False
+        if self.guarantee is not None and before is not None:
+            if not self.guarantee(before, after, tid):
+                result.failures.append(FailureRecord(
+                    "guarantee", f"step of thread {tid} violates G "
+                    f"({before!r} -> {after!r})", hist))
+                return False
+        return True
+
+    # -- exploration ---------------------------------------------------------
+
+    def run(self) -> InstrumentedRunResult:
+        result = InstrumentedRunResult()
+        spec = self.iobj.spec
+        if self.iobj.phi is not None:
+            theta = self.iobj.phi.of(Store(self.iobj.initial_memory))
+            if theta != spec.initial:
+                result.ok = False
+                result.failures.append(FailureRecord(
+                    "refmap", f"φ(σ_o) = {theta!r} differs from Γ's initial "
+                              f"abstract object {spec.initial!r}", ()))
+                return result
+        sigma_o = Store(self.iobj.initial_memory)
+        delta0 = singleton_delta(Store(), spec.initial)
+        idle = ThreadState((), None)
+        start = IConfig(tuple((idle, self.ops) for _ in range(self.n_threads)),
+                        sigma_o, delta0)
+        result.histories.add(())
+        if not self._check_shared(result, None, (sigma_o, delta0), 0, ()):
+            result.ok = False
+            return result
+
+        def key(config, hist):
+            return (config, hist) if self.history_complete else config
+
+        seen = {key(start, ())}
+        stack: List[Tuple[IConfig, Trace, int]] = [(start, (), 0)]
+        while stack:
+            config, hist, depth = stack.pop()
+            result.nodes += 1
+            if result.nodes > self.limits.max_nodes:
+                result.bounded = True
+                break
+            if depth >= self.limits.max_depth:
+                result.bounded = True
+                continue
+            for nxt, event in self._expand(config, hist, result):
+                new_hist = hist + (event,) if event is not None else hist
+                if event is not None:
+                    result.histories.add(new_hist)
+                if nxt is None:
+                    continue
+                k = key(nxt, new_hist)
+                if k in seen:
+                    continue
+                seen.add(k)
+                stack.append((nxt, new_hist, depth + 1))
+            if len(result.failures) >= self.max_failures:
+                break
+        result.ok = not result.failures
+        return result
+
+    def _expand(self, config: IConfig, hist: Trace,
+                result: InstrumentedRunResult):
+        out = []
+        for idx, (tstate, ops_left) in enumerate(config.threads):
+            tid = idx + 1
+            if tstate.finished:
+                if ops_left > 0:
+                    out.extend(self._invoke(config, idx, tid, ops_left,
+                                            hist, result))
+                continue
+            out.extend(self._step(config, idx, tid, ops_left, hist, result))
+        return out
+
+    def _replace(self, config: IConfig, idx: int, tstate: ThreadState,
+                 ops_left: int, sigma_o: Store, delta: Delta) -> IConfig:
+        threads = (config.threads[:idx]
+                   + ((tstate, ops_left),)
+                   + config.threads[idx + 1:])
+        return IConfig(threads, sigma_o, delta)
+
+    def _invoke(self, config: IConfig, idx: int, tid: int, ops_left: int,
+                hist: Trace, result: InstrumentedRunResult):
+        out = []
+        for method, arg in self.menu:
+            mdef = self.iobj.methods[method]
+            locals_init = Store({mdef.param: arg, "cid": tid,
+                                 **{v: 0 for v in mdef.locals}})
+            frame = Frame(locals=locals_init, retvar="", caller_control=(),
+                          method=method)
+            control = push_control(mdef.body, (_NORET,))
+            delta = delta_add_thread(config.delta, tid, op_of(method, arg))
+            event = InvokeEvent(tid, method, arg)
+            new_hist = hist + (event,)
+            if not self._check_shared(result, (config.sigma_o, config.delta),
+                                      (config.sigma_o, delta), tid, new_hist):
+                out.append((None, event))
+                continue
+            for ts, _sc in expand_until_visible(
+                    ThreadState(control, frame), _EMPTY, config.sigma_o):
+                out.append((self._replace(config, idx, ts, ops_left - 1,
+                                          config.sigma_o, delta), event))
+        return out
+
+    def _step(self, config: IConfig, idx: int, tid: int, ops_left: int,
+              hist: Trace, result: InstrumentedRunResult):
+        tstate = config.threads[idx][0]
+        stmt = tstate.control[0]
+        rest = tstate.control[1:]
+        frame = tstate.frame
+        sigma_o, delta = config.sigma_o, config.delta
+        out = []
+
+        if isinstance(stmt, Seq):
+            return self._step_with(
+                config, idx, tid, ops_left,
+                ThreadState(push_control(stmt, rest), frame), hist, result)
+        if isinstance(stmt, Return):
+            try:
+                value = eval_in(stmt.expr, frame.locals, sigma_o)
+            except EvalError as exc:
+                result.failures.append(FailureRecord(
+                    "fault", f"return expression fault in {frame.method}: "
+                             f"{exc}", hist))
+                return [(None, None)]
+            bad = [pair for pair in delta
+                   if pair[0].get(tid) != end_of(value)]
+            event = ReturnEvent(tid, value)
+            new_hist = hist + (event,)
+            if bad:
+                result.failures.append(FailureRecord(
+                    "return", f"thread {tid} returns {value} from "
+                    f"{frame.method} but {len(bad)} speculation(s) disagree "
+                    f"(e.g. {bad[0][0].get(tid)!r})", new_hist))
+                return [(None, event)]
+            delta2 = delta_remove_thread(delta, tid)
+            if not self._check_shared(result, (sigma_o, delta),
+                                      (sigma_o, delta2), tid, new_hist):
+                return [(None, event)]
+            return [(self._replace(config, idx, ThreadState((), None),
+                                   ops_left, sigma_o, delta2), event)]
+        if isinstance(stmt, Noret):
+            result.failures.append(FailureRecord(
+                "noret", f"method {frame.method} of thread {tid} terminated "
+                         "without return", hist))
+            return [(None, None)]
+        if isinstance(stmt, (If, While)):
+            try:
+                taken = eval_bool_in(stmt.cond, frame.locals, sigma_o)
+            except EvalError as exc:
+                result.failures.append(FailureRecord(
+                    "fault", f"condition fault in {frame.method}: {exc}",
+                    hist))
+                return [(None, None)]
+            if isinstance(stmt, If):
+                control = push_control(stmt.then if taken else stmt.els, rest)
+            elif taken:
+                control = push_control(stmt.body, (stmt,) + rest)
+            else:
+                control = rest
+            return self._finish_step(config, idx, tid, ops_left,
+                                     control, frame, sigma_o, delta,
+                                     hist, result)
+
+        # Atomic blocks, primitives and auxiliary commands: one visible
+        # transition through the sequential executor with the Fig. 11
+        # handler.
+        body = stmt.body if isinstance(stmt, Atomic) else stmt
+        env = Env(locals=frame.locals, sigma_c=_EMPTY, sigma_o=sigma_o,
+                  extra=InstrCtx(delta, tid, self.iobj.spec))
+        try:
+            finals = run_block(body, env, handler=instrumented_handler)
+        except AuxStuck as exc:
+            result.failures.append(FailureRecord(
+                "aux-stuck", f"{frame.method} (thread {tid}): {exc}", hist))
+            return [(None, None)]
+        except Fault as exc:
+            result.failures.append(FailureRecord(
+                "fault", f"{frame.method} (thread {tid}) faults: {exc}",
+                hist))
+            return [(None, None)]
+        except BoundExceeded as exc:
+            result.failures.append(FailureRecord(
+                "bound", str(exc), hist))
+            return [(None, None)]
+        for fin in finals:
+            frame2 = Frame(fin.locals, frame.retvar, frame.caller_control,
+                           frame.method)
+            out.extend(self._finish_step(
+                config, idx, tid, ops_left, rest, frame2, fin.sigma_o,
+                fin.extra.delta, hist, result))
+        return out
+
+    def _finish_step(self, config: IConfig, idx: int, tid: int,
+                     ops_left: int, control, frame, sigma_o: Store,
+                     delta: Delta, hist: Trace,
+                     result: InstrumentedRunResult):
+        if not self._check_shared(result, (config.sigma_o, config.delta),
+                                  (sigma_o, delta), tid, hist):
+            return [(None, None)]
+        out = []
+        for ts, _sc in expand_until_visible(
+                ThreadState(control, frame), _EMPTY, sigma_o):
+            out.append((self._replace(config, idx, ts, ops_left,
+                                      sigma_o, delta), None))
+        return out
+
+    def _step_with(self, config, idx, tid, ops_left, tstate, hist, result):
+        cfg = self._replace(config, idx, tstate, ops_left,
+                            config.sigma_o, config.delta)
+        return self._step(cfg, idx, tid, ops_left, hist, result)
+
+
+def verify_instrumented(iobj: InstrumentedObject, menu: CallMenu,
+                        threads: int = 2, ops_per_thread: int = 2,
+                        limits: Optional[Limits] = None,
+                        invariant: Optional[Invariant] = None,
+                        guarantee: Optional[Guarantee] = None,
+                        history_complete: bool = False
+                        ) -> InstrumentedRunResult:
+    """Convenience wrapper around :class:`InstrumentedRunner`."""
+
+    runner = InstrumentedRunner(iobj, menu, threads, ops_per_thread,
+                                limits, invariant, guarantee,
+                                history_complete=history_complete)
+    return runner.run()

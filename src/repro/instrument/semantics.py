@@ -1,0 +1,123 @@
+"""Operational semantics of the auxiliary commands (Fig. 11).
+
+The instrumented semantics reuses the sequential executor
+:func:`repro.semantics.thread.run_block`, supplying a *handler* that
+interprets the auxiliary commands over the speculation set Δ carried in
+``Env.extra``.
+
+A stuck auxiliary command (``linself`` with no pending operation, a
+``commit`` whose filter is empty, an abstract operation that is blocked)
+raises :class:`AuxStuck`.  The paper's program logic exists precisely to
+rule these out; the runner reports them as verification failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..errors import EvalError, InstrumentationError
+from ..lang.ast import Stmt
+from ..semantics.eval import eval_in, lookup_in
+from ..semantics.thread import Env, Fault, run_block
+from ..spec.gamma import OSpec
+from .commands import (
+    Commit,
+    Ghost,
+    Lin,
+    LinSelf,
+    TryLin,
+    TryLinReadOnly,
+    TryLinSelf,
+)
+from .state import (
+    Delta,
+    delta_lin,
+    delta_trylin,
+    delta_trylin_readonly,
+    dom_exact,
+)
+
+
+class AuxStuck(Fault):
+    """An auxiliary command got stuck — a linearizability-proof failure."""
+
+
+@dataclass(frozen=True)
+class InstrCtx:
+    """The auxiliary part of an instrumented execution environment."""
+
+    delta: Delta
+    tid: int
+    spec: OSpec
+
+    def with_delta(self, delta: Delta) -> "InstrCtx":
+        assert dom_exact(delta), "Δ lost domain-exactness"
+        return replace(self, delta=delta)
+
+
+def instrumented_handler(stmt: Stmt, env: Env) -> Optional[List[Env]]:
+    """Handler for :func:`run_block` interpreting Fig. 11's rules."""
+
+    ctx = env.extra
+    if not isinstance(ctx, InstrCtx):
+        return None
+
+    if isinstance(stmt, LinSelf):
+        return [_set_delta(env, _lin(ctx, ctx.tid))]
+    if isinstance(stmt, Lin):
+        return [_set_delta(env, _lin(ctx, _eval_tid(stmt.tid, env)))]
+    if isinstance(stmt, TryLinSelf):
+        return [_set_delta(env, _trylin(ctx, ctx.tid))]
+    if isinstance(stmt, TryLin):
+        return [_set_delta(env, _trylin(ctx, _eval_tid(stmt.tid, env)))]
+    if isinstance(stmt, TryLinReadOnly):
+        return [_set_delta(env, delta_trylin_readonly(
+            ctx.spec, ctx.delta, stmt.method))]
+    if isinstance(stmt, Commit):
+        # Imported lazily: assertions.patterns itself imports
+        # instrument.state, and a module-level import here would close
+        # that cycle during package initialisation.
+        from ..assertions.patterns import commit_filter
+
+        base = lookup_in(*env.read_stores())
+
+        def lookup(name: str) -> int:
+            # The reserved variable ``cid`` denotes the current thread id
+            # (the paper writes ``cid`` in commit assertions, Fig. 1c).
+            if name == "cid":
+                return ctx.tid
+            return base(name)
+
+        outcome = commit_filter(stmt.assertion, ctx.delta, lookup)
+        if not outcome.ok:
+            raise AuxStuck(f"commit failed: {outcome.reason}")
+        return [_set_delta(env, outcome.kept)]
+    if isinstance(stmt, Ghost):
+        return run_block(stmt.stmt, env, handler=instrumented_handler)
+    return None
+
+
+def _set_delta(env: Env, delta: Delta) -> Env:
+    return replace(env, extra=env.extra.with_delta(delta))
+
+
+def _eval_tid(expr, env: Env) -> int:
+    try:
+        return eval_in(expr, *env.read_stores())
+    except EvalError as exc:
+        raise Fault(str(exc))
+
+
+def _lin(ctx: InstrCtx, tid: int) -> Delta:
+    try:
+        return delta_lin(ctx.spec, ctx.delta, tid)
+    except InstrumentationError as exc:
+        raise AuxStuck(f"lin({tid}): {exc}")
+
+
+def _trylin(ctx: InstrCtx, tid: int) -> Delta:
+    try:
+        return delta_trylin(ctx.spec, ctx.delta, tid)
+    except InstrumentationError as exc:
+        raise AuxStuck(f"trylin({tid}): {exc}")

@@ -1,0 +1,202 @@
+"""Relational states for instrumented code (Fig. 7).
+
+The auxiliary data Δ (``SpecSet``) is a *non-empty* set of speculations.
+Each speculation is a pair ``(U, θ)``:
+
+* ``U`` — a *pending thread pool* mapping thread ids to their remaining
+  abstract operations ``Υ``, which is either ``("op", f, n)`` (the
+  abstract operation of method ``f`` with argument ``n`` still needs to
+  be executed — the paper's ``(γ, n)``) or ``("end", n)`` (the operation
+  has been executed and will return ``n``);
+* ``θ`` — the current abstract object for that speculation.
+
+We reuse :class:`~repro.memory.store.Store` for both ``U`` (int keys) and
+``θ`` (string keys).  Δ itself is a frozenset of ``(U, θ)`` pairs.
+
+The module provides the Δ-transitions of Fig. 11:
+
+* ``(U, θ) --->_t (U', θ')`` — execute thread ``t``'s abstract operation
+  (:func:`spec_step_thread`);
+* ``Δ →_t Δ'`` — lift to speculation sets (:func:`delta_lin`);
+* the speculative union used by ``trylin`` (:func:`delta_trylin`);
+* domain-exactness ``DomExact(Δ)`` (:func:`dom_exact`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..errors import InstrumentationError
+from ..memory.store import Store
+from ..spec.absobj import AbsObj
+from ..spec.gamma import OSpec
+
+#: ``Υ``: ("op", method, arg) before the LP, ("end", ret) after.
+AbsOp = Tuple
+
+#: ``U``: a Store mapping thread id -> Υ.
+PendThrds = Store
+
+#: One speculation ``(U, θ)``.
+Speculation = Tuple[PendThrds, AbsObj]
+
+#: ``Δ``: a non-empty set of speculations.
+Delta = FrozenSet[Speculation]
+
+
+def op_of(method: str, arg: int) -> AbsOp:
+    """The unfinished abstract operation ``(γ_f, n)``."""
+
+    return ("op", method, arg)
+
+
+def end_of(ret: int) -> AbsOp:
+    """The finished abstract operation ``(end, n)``."""
+
+    return ("end", ret)
+
+
+def is_end(op: AbsOp) -> bool:
+    return op[0] == "end"
+
+
+def singleton_delta(pending: Optional[PendThrds] = None,
+                    theta: Optional[AbsObj] = None) -> Delta:
+    """A Δ with a single speculation."""
+
+    return frozenset({(pending if pending is not None else Store(),
+                       theta if theta is not None else Store())})
+
+
+def dom_exact(delta: Delta) -> bool:
+    """``DomExact(Δ)``: all speculations describe the same thread set and
+    abstract-object domain (Fig. 7)."""
+
+    if not delta:
+        return True
+    doms = {(frozenset(u.keys()), frozenset(th.keys())) for u, th in delta}
+    return len(doms) == 1
+
+
+def delta_domain(delta: Delta) -> Tuple[FrozenSet, FrozenSet]:
+    """``dom(Δ)`` — thread-id set and abstract-variable set (Fig. 11)."""
+
+    u, th = next(iter(delta))
+    return frozenset(u.keys()), frozenset(th.keys())
+
+
+def spec_step_thread(spec: OSpec, pair: Speculation,
+                     tid: int) -> Tuple[Speculation, ...]:
+    """``(U, θ) --->_t`` — all results of executing ``t``'s abstract op.
+
+    Per Fig. 11: if ``U(t) = (γ, n)``, run γ; if ``U(t) = (end, n)``, the
+    step is the identity.  ``t ∉ dom(U)`` has no rule — the caller treats
+    it as a stuck auxiliary command.
+    """
+
+    pending, theta = pair
+    if tid not in pending:
+        raise InstrumentationError(
+            f"thread {tid} has no abstract operation in the pending pool")
+    op = pending[tid]
+    if is_end(op):
+        return (pair,)
+    _, method, arg = op
+    gamma = spec.method(method)
+    results = gamma.results(arg, theta)
+    if not results:
+        raise InstrumentationError(
+            f"abstract operation {method}({arg}) is blocked on θ = {theta!r}")
+    return tuple(
+        (pending.set(tid, end_of(ret)), theta2) for ret, theta2 in results
+    )
+
+
+def delta_lin(spec: OSpec, delta: Delta, tid: int) -> Delta:
+    """``Δ →_t Δ'`` — linearize thread ``t`` in every speculation.
+
+    This is the semantics of ``linself`` / ``lin(E)`` (Fig. 11).
+    """
+
+    out = set()
+    for pair in delta:
+        out.update(spec_step_thread(spec, pair, tid))
+    return frozenset(out)
+
+
+def delta_trylin(spec: OSpec, delta: Delta, tid: int) -> Delta:
+    """``Δ ∪ Δ'`` where ``Δ →_t Δ'`` — the semantics of ``trylin(E)`` /
+    ``trylinself`` (Fig. 11): keep both the original speculations and the
+    linearized ones."""
+
+    return delta | delta_lin(spec, delta, tid)
+
+
+def delta_trylin_readonly(spec: OSpec, delta: Delta, method: str) -> Delta:
+    """Saturate Δ under speculative linearization of every pending
+    *read-only* operation of ``method`` (the ``TryLinReadOnly`` sugar).
+
+    A pending op fires in a speculation only when its γ leaves that
+    speculation's θ unchanged; firing therefore commutes and the
+    saturation is a small fixpoint.
+    """
+
+    seen = set(delta)
+    frontier = list(delta)
+    while frontier:
+        pending, theta = frontier.pop()
+        for tid, op in pending.items():
+            if is_end(op) or op[1] != method:
+                continue
+            gamma = spec.method(op[1])
+            for ret, theta2 in gamma.results(op[2], theta):
+                if theta2 != theta:
+                    continue
+                nxt = (pending.set(tid, end_of(ret)), theta)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return frozenset(seen)
+
+
+def delta_add_thread(delta: Delta, tid: int, op: AbsOp) -> Delta:
+    """Register a new pending operation when ``t`` invokes a method.
+
+    ``t`` must not already be pending (one outstanding call per thread).
+    """
+
+    out = set()
+    for pending, theta in delta:
+        if tid in pending:
+            raise InstrumentationError(
+                f"thread {tid} already has a pending abstract operation")
+        out.add((pending.set(tid, op), theta))
+    return frozenset(out)
+
+
+def delta_remove_thread(delta: Delta, tid: int) -> Delta:
+    """Drop ``t``'s entry when its call returns."""
+
+    out = set()
+    for pending, theta in delta:
+        if tid not in pending:
+            raise InstrumentationError(
+                f"thread {tid} has no pending abstract operation to remove")
+        out.add((pending.remove(tid), theta))
+    return frozenset(out)
+
+
+def return_values(delta: Delta, tid: int) -> FrozenSet[Optional[int]]:
+    """The set of return values recorded for ``t`` across speculations.
+
+    Unfinished speculations contribute ``None``.
+    """
+
+    vals = set()
+    for pending, _ in delta:
+        op = pending.get(tid)
+        if op is not None and is_end(op):
+            vals.add(op[1])
+        else:
+            vals.add(None)
+    return frozenset(vals)

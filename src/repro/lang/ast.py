@@ -1,0 +1,480 @@
+"""Abstract syntax of the paper's programming language (Fig. 3).
+
+The language is a first-order imperative language with shared-memory
+concurrency.  Programs are built from arithmetic expressions
+(:class:`Expr`), boolean expressions (:class:`BoolExpr`) and statements
+(:class:`Stmt`).  All nodes are immutable (frozen dataclasses) and hashable
+so they can participate in memoized state-space exploration.
+
+Values are integers; ``null`` is represented by ``0``.  The heap is
+addressed by positive integers; records occupy consecutive cells (see
+:mod:`repro.memory.heap`).
+
+Statements cover Fig. 3 of the paper:
+
+* plain commands ``c``: assignment, load ``x := [E]``, store ``[E] := E'``,
+  allocation ``x := cons(E1, ..., En)``, ``skip``;
+* control: sequencing, conditionals, loops, atomic blocks ``<C>``;
+* method bodies additionally use ``return E`` (and the runtime marker
+  ``noret`` appended automatically, Sec. 3.1);
+* client code uses ``x := f(E)`` method calls and ``print(E)``;
+* ``assume(B)`` blocks until ``B`` holds — used to model ``cas`` inside
+  atomic blocks and to write most-general clients;
+* ``x := nondet(E1, ..., En)`` models bounded nondeterministic choice (the
+  HSY stack's ``rand()``).
+
+The auxiliary commands of the instrumented language (Fig. 7: ``linself``,
+``lin(E)``, ``trylinself``, ``trylin(E)``, ``commit(p)``) are defined in
+:mod:`repro.instrument.commands`; they subclass :class:`Stmt` so that
+instrumented method bodies reuse the same structural machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of arithmetic expressions ``E`` (Fig. 3)."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> frozenset:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Integer literal.  ``null`` is ``Const(0)``."""
+
+    value: int
+
+    def free_vars(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Program variable reference."""
+
+    name: str
+
+    def free_vars(self) -> frozenset:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Binary arithmetic operators and their meanings.
+ARITH_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    # Integer division/modulo truncate toward negative infinity as in
+    # Python; division by zero is an evaluation fault (thread abort).
+    "/": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    # Bitwise operators support mark-bit encodings (Harris-Michael list).
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+}
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic operation ``E1 op E2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in ARITH_OPS:
+            from ..errors import LanguageError
+
+            raise LanguageError(f"unknown arithmetic operator: {self.op!r}")
+
+    def free_vars(self) -> frozenset:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary arithmetic operation; only negation is provided."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self):
+        if self.op != "-":
+            from ..errors import LanguageError
+
+            raise LanguageError(f"unknown unary operator: {self.op!r}")
+
+    def free_vars(self) -> frozenset:
+        return self.operand.free_vars()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Boolean expressions
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Base class of boolean expressions ``B`` (Fig. 3)."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> frozenset:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BConst(BoolExpr):
+    """Boolean literal ``true`` / ``false``."""
+
+    value: bool
+
+    def free_vars(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+#: Comparison operators and their meanings.
+CMP_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Cmp(BoolExpr):
+    """Comparison ``E1 op E2``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in CMP_OPS:
+            from ..errors import LanguageError
+
+            raise LanguageError(f"unknown comparison operator: {self.op!r}")
+
+    def free_vars(self) -> frozenset:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def free_vars(self) -> frozenset:
+        return self.operand.free_vars()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def free_vars(self) -> frozenset:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} && {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def free_vars(self) -> frozenset:
+        return self.left.free_vars() | self.right.free_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statements ``C`` (Fig. 3)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, eq=False)
+class Skip(Stmt):
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True, eq=False)
+class Assign(Stmt):
+    """``x := E``"""
+
+    var: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True, eq=False)
+class Load(Stmt):
+    """``x := [E]`` — read the heap cell at address ``E``."""
+
+    var: str
+    addr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} := [{self.addr}]"
+
+
+@dataclass(frozen=True, eq=False)
+class Store(Stmt):
+    """``[E] := E'`` — write the heap cell at address ``E``."""
+
+    addr: Expr
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"[{self.addr}] := {self.expr}"
+
+
+@dataclass(frozen=True, eq=False)
+class Alloc(Stmt):
+    """``x := cons(E1, ..., En)`` — allocate ``n`` consecutive fresh cells.
+
+    ``x`` receives the base address.  Allocation is deterministic (lowest
+    unused block) to keep explored state spaces canonical.
+    """
+
+    var: str
+    inits: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(e) for e in self.inits)
+        return f"{self.var} := cons({args})"
+
+
+@dataclass(frozen=True, eq=False)
+class Dispose(Stmt):
+    """``dispose(E)`` — free the heap cell at address ``E``."""
+
+    addr: Expr
+
+    def __str__(self) -> str:
+        return f"dispose({self.addr})"
+
+
+@dataclass(frozen=True, eq=False)
+class Seq(Stmt):
+    """``C1; C2; ...`` — flattened sequencing."""
+
+    stmts: Tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        return "; ".join(str(s) for s in self.stmts)
+
+
+@dataclass(frozen=True, eq=False)
+class If(Stmt):
+    """``if (B) C1 else C2``"""
+
+    cond: BoolExpr
+    then: Stmt
+    els: Stmt = field(default_factory=Skip)
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) {{ {self.then} }} else {{ {self.els} }}"
+
+
+@dataclass(frozen=True, eq=False)
+class While(Stmt):
+    """``while (B) { C }``"""
+
+    cond: BoolExpr
+    body: Stmt
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{ {self.body} }}"
+
+
+@dataclass(frozen=True, eq=False)
+class Atomic(Stmt):
+    """``<C>`` — ``C`` executes atomically (Sec. 2.1).
+
+    Nondeterminism inside the block (e.g. ``nondet``) still yields multiple
+    successor states; atomicity only forbids interleaving with other
+    threads.
+    """
+
+    body: Stmt
+
+    def __str__(self) -> str:
+        return f"<{self.body}>"
+
+
+@dataclass(frozen=True, eq=False)
+class Assume(Stmt):
+    """``assume(B)`` — block (no transition) until ``B`` holds.
+
+    Used inside atomic blocks to model conditional primitives and in
+    most-general clients; it has no counterpart in the paper's surface
+    syntax but is semantically conservative (refines ``skip``).
+    """
+
+    cond: BoolExpr
+
+    def __str__(self) -> str:
+        return f"assume({self.cond})"
+
+
+@dataclass(frozen=True, eq=False)
+class NondetChoice(Stmt):
+    """``x := nondet(E1, ..., En)`` — choose one value nondeterministically.
+
+    Models the HSY stack's ``him := rand()`` with a bounded range.
+    """
+
+    var: str
+    choices: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(e) for e in self.choices)
+        return f"{self.var} := nondet({args})"
+
+
+@dataclass(frozen=True, eq=False)
+class Return(Stmt):
+    """``return E`` — only in method bodies."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"return {self.expr}"
+
+
+@dataclass(frozen=True, eq=False)
+class Noret(Stmt):
+    """Runtime marker aborting methods that fall off the end (Sec. 3.1)."""
+
+    def __str__(self) -> str:
+        return "noret"
+
+
+@dataclass(frozen=True, eq=False)
+class Print(Stmt):
+    """``print(E)`` — client-only observable output event."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"print({self.expr})"
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Stmt):
+    """``x := f(E)`` — client-only method invocation."""
+
+    var: str
+    method: str
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.method}({self.arg})"
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Sequence statements, flattening nested :class:`Seq` and dropping
+    redundant :class:`Skip` where possible."""
+
+    flat = []
+    for s in stmts:
+        if isinstance(s, Seq):
+            flat.extend(s.stmts)
+        elif isinstance(s, Skip):
+            continue
+        else:
+            flat.append(s)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def structural_eq(a: object, b: object) -> bool:
+    """Structural equality of AST nodes.
+
+    Statements compare by identity for fast state hashing during
+    exploration (``eq=False``); use this helper when tests or erasure
+    checks need genuine structural comparison.
+    """
+
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (Stmt, Expr, BoolExpr)):
+        import dataclasses
+
+        for f in dataclasses.fields(a):
+            if not structural_eq(getattr(a, f.name), getattr(b, f.name)):
+                return False
+        return True
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(
+            structural_eq(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+#: Statements considered *primitive* by the thread-local semantics: they
+#: execute in a single transition.
+PRIMITIVE_STMTS = (
+    Skip,
+    Assign,
+    Load,
+    Store,
+    Alloc,
+    Dispose,
+    Assume,
+    NondetChoice,
+    Print,
+)
+
+StmtLike = Union[Stmt]

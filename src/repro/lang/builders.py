@@ -1,0 +1,301 @@
+"""Convenience constructors for building programs in host Python.
+
+The algorithm library (:mod:`repro.algorithms`) builds its method bodies
+with these helpers; they keep the AST construction close to the paper's
+pseudo-code.  A :class:`Record` declares symbolic field names mapped to
+cell offsets, mirroring ``x.next``-style field access in the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..errors import LanguageError
+from .ast import (
+    Alloc,
+    And,
+    Assign,
+    Assume,
+    Atomic,
+    BConst,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    Expr,
+    If,
+    Load,
+    NondetChoice,
+    Not,
+    Or,
+    Return,
+    Skip,
+    Stmt,
+    Store,
+    Var,
+    While,
+    seq,
+)
+
+#: ``null`` pointer (Sec. "values are integers").
+NULL = Const(0)
+TRUE = Const(1)
+FALSE = Const(0)
+
+
+ExprLike = Union[Expr, int, str]
+BoolLike = Union[BoolExpr, bool]
+
+
+def E(x: ExprLike) -> Expr:
+    """Coerce an int (constant) or str (variable) into an expression."""
+
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        raise LanguageError("use B() for boolean expressions")
+    if isinstance(x, int):
+        return Const(x)
+    if isinstance(x, str):
+        return Var(x)
+    raise LanguageError(f"cannot coerce {x!r} to an expression")
+
+
+def B(x: BoolLike) -> BoolExpr:
+    if isinstance(x, BoolExpr):
+        return x
+    if isinstance(x, bool):
+        return BConst(x)
+    raise LanguageError(f"cannot coerce {x!r} to a boolean expression")
+
+
+def add(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("+", E(a), E(b))
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("-", E(a), E(b))
+
+
+def mul(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("*", E(a), E(b))
+
+
+def mod(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("%", E(a), E(b))
+
+
+def eq(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp("=", E(a), E(b))
+
+
+def neq(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp("!=", E(a), E(b))
+
+
+def lt(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp("<", E(a), E(b))
+
+
+def le(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp("<=", E(a), E(b))
+
+
+def ge(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp(">=", E(a), E(b))
+
+
+def gt(a: ExprLike, b: ExprLike) -> BoolExpr:
+    return Cmp(">", E(a), E(b))
+
+
+def assign(var: str, expr: ExprLike) -> Stmt:
+    return Assign(var, E(expr))
+
+
+def load(var: str, addr: ExprLike) -> Stmt:
+    return Load(var, E(addr))
+
+
+def store(addr: ExprLike, expr: ExprLike) -> Stmt:
+    return Store(E(addr), E(expr))
+
+
+def alloc(var: str, *inits: ExprLike) -> Stmt:
+    return Alloc(var, tuple(E(i) for i in inits))
+
+
+def assume(cond: BoolLike) -> Stmt:
+    return Assume(B(cond))
+
+
+def nondet(var: str, *choices: ExprLike) -> Stmt:
+    return NondetChoice(var, tuple(E(c) for c in choices))
+
+
+def nondet_range(var: str, lo: int, hi: int) -> Stmt:
+    """``var := nondet(lo, lo+1, ..., hi)`` (inclusive)."""
+
+    return NondetChoice(var, tuple(Const(i) for i in range(lo, hi + 1)))
+
+
+def atomic(*stmts: Stmt) -> Stmt:
+    return Atomic(seq(*stmts))
+
+
+def if_(cond: BoolLike, then: Stmt, els: Stmt = None) -> Stmt:
+    return If(B(cond), then, els if els is not None else Skip())
+
+
+def while_(cond: BoolLike, *body: Stmt) -> Stmt:
+    return While(B(cond), seq(*body))
+
+
+def while_true(*body: Stmt) -> Stmt:
+    return While(BConst(True), seq(*body))
+
+
+def ret(expr: ExprLike) -> Stmt:
+    return Return(E(expr))
+
+
+def cas_var(result_var: str, var: str, old: ExprLike, new: ExprLike,
+            *extra: Stmt) -> Stmt:
+    """Boolean compare-and-swap on a *variable*: ``<b := cas(&S, old, new)>``.
+
+    ``result_var`` receives ``1`` on success, ``0`` on failure.  Additional
+    statements ``extra`` execute inside the same atomic block *after* the
+    cas — this is exactly how the paper inserts auxiliary commands at LPs
+    (Fig. 1a line 7').
+    """
+
+    body = seq(
+        If(
+            Cmp("=", Var(var), E(old)),
+            seq(Assign(var, E(new)), Assign(result_var, Const(1))),
+            Assign(result_var, Const(0)),
+        ),
+        *extra,
+    )
+    return Atomic(body)
+
+
+def cas_cell(result_var: str, addr: ExprLike, old: ExprLike, new: ExprLike,
+             *extra: Stmt) -> Stmt:
+    """Boolean compare-and-swap on a *heap cell*: ``<b := cas(&[E], old, new)>``."""
+
+    tmp = f"_cas_{result_var}"
+    body = seq(
+        Load(tmp, E(addr)),
+        If(
+            Cmp("=", Var(tmp), E(old)),
+            seq(Store(E(addr), E(new)), Assign(result_var, Const(1))),
+            Assign(result_var, Const(0)),
+        ),
+        *extra,
+    )
+    return Atomic(body)
+
+
+def cas_val_var(result_var: str, var: str, old: ExprLike, new: ExprLike,
+                *extra: Stmt) -> Stmt:
+    """Value-returning cas on a variable (CCAS/RDCSS, Fig. 14).
+
+    ``result_var`` receives the *old value* of ``var``; the swap happens
+    iff that value equals ``old``.
+    """
+
+    body = seq(
+        Assign(result_var, Var(var)),
+        If(
+            Cmp("=", Var(result_var), E(old)),
+            Assign(var, E(new)),
+            Skip(),
+        ),
+        *extra,
+    )
+    return Atomic(body)
+
+
+def cas_val_cell(result_var: str, addr: ExprLike, old: ExprLike,
+                 new: ExprLike, *extra: Stmt) -> Stmt:
+    """Value-returning cas on a heap cell."""
+
+    body = seq(
+        Load(result_var, E(addr)),
+        If(
+            Cmp("=", Var(result_var), E(old)),
+            Store(E(addr), E(new)),
+            Skip(),
+        ),
+        *extra,
+    )
+    return Atomic(body)
+
+
+class Record:
+    """Named fields over consecutive heap cells.
+
+    >>> node = Record("node", "val", "next")
+    >>> node.offset("next")
+    1
+    >>> str(node.load("t", "x", "next"))
+    't := [(x + 1)]'
+    """
+
+    def __init__(self, name: str, *fields: str):
+        if len(set(fields)) != len(fields):
+            raise LanguageError(f"record {name}: duplicate field names")
+        self.name = name
+        self.fields: Tuple[str, ...] = fields
+        self._offsets: Dict[str, int] = {f: i for i, f in enumerate(fields)}
+
+    @property
+    def size(self) -> int:
+        return len(self.fields)
+
+    def offset(self, field: str) -> int:
+        try:
+            return self._offsets[field]
+        except KeyError:
+            raise LanguageError(f"record {self.name} has no field {field!r}")
+
+    def addr(self, base: ExprLike, field: str) -> Expr:
+        off = self.offset(field)
+        return E(base) if off == 0 else add(base, off)
+
+    def load(self, var: str, base: ExprLike, field: str) -> Stmt:
+        """``var := base.field``"""
+        return Load(var, self.addr(base, field))
+
+    def store(self, base: ExprLike, field: str, value: ExprLike) -> Stmt:
+        """``base.field := value``"""
+        return Store(self.addr(base, field), E(value))
+
+    def alloc(self, var: str, **inits: ExprLike) -> Stmt:
+        """``var := new record(field=..., ...)`` — unset fields become 0."""
+        values = [E(inits.pop(f, 0)) for f in self.fields]
+        if inits:
+            raise LanguageError(
+                f"record {self.name}: unknown fields {sorted(inits)}"
+            )
+        return Alloc(var, tuple(values))
+
+
+# --- Mark-bit encodings (Harris-Michael lock-free list) -------------------
+#
+# A "marked pointer" packs a logical-deletion bit into the low bit of the
+# pointer value: value = 2 * addr + mark.  Heap addresses produced by the
+# allocator are even-aligned under this convention via `ptr(...)` helpers.
+
+
+def mark_pack(addr: ExprLike, mark: ExprLike) -> Expr:
+    return add(mul(addr, 2), mark)
+
+
+def mark_addr(packed: ExprLike) -> Expr:
+    return BinOp("/", E(packed), Const(2))
+
+
+def mark_bit(packed: ExprLike) -> Expr:
+    return mod(packed, 2)

@@ -1,0 +1,565 @@
+"""A concrete syntax for the paper's language, close to its figures.
+
+The parser turns textual method definitions into the same AST the
+builders produce, including the auxiliary commands, so instrumented
+objects can be written exactly like the paper's listings:
+
+    record node { val; next; }
+
+    push(v) {
+      local x, t, b;
+      x := new node(v, null);
+      b := 0;
+      while (b = 0) {
+        t := S;
+        x.next := t;
+        <b := cas(&S, t, x); if (b = 1) linself;>
+      }
+      return 0;
+    }
+
+Supported statements: ``skip``, assignment, loads/stores through ``[E]``
+or declared record fields (``x.next``), ``new rec(E, ...)``,
+``dispose(E)``, ``if``/``else``, ``while``, ``do { } while (B)``,
+``return E``, atomic blocks ``< ... >``, ``assume(B)``,
+``nondet(E, ...)``, boolean and value ``cas``, and the auxiliary
+commands ``linself``, ``lin(E)``, ``trylinself``, ``trylin(E)``,
+``trylin_ro(name)``.  ``commit(p)`` is deliberately *not* part of the
+concrete syntax — its argument is an assertion object, so commits are
+attached programmatically.
+
+``null`` parses as ``0``; ``true``/``false`` in conditions; ``&&``,
+``||``, ``!``; comparisons ``= != < <= > >=``; arithmetic ``+ - * / %``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast import (
+    Alloc,
+    And,
+    Assign,
+    Assume,
+    Atomic,
+    BConst,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    Dispose,
+    Expr,
+    If,
+    Load,
+    NondetChoice,
+    Not,
+    Or,
+    Return,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+    seq,
+)
+from .builders import Record
+from .program import MethodDef
+
+TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|\#[^\n]*)
+  | (?P<num>-?\d+)
+  | (?P<id>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|<=|>=|!=|&&|\|\||[-+*/%<>=!(){};,\[\].&])
+""", re.VERBOSE)
+
+KEYWORDS = {
+    "skip", "if", "else", "while", "do", "return", "local", "record",
+    "new", "cons", "dispose", "assume", "nondet", "cas", "cas_val", "null",
+    "true", "false", "linself", "lin", "trylinself", "trylin",
+    "trylin_ro",
+}
+
+
+@dataclass
+class Token:
+    kind: str  # "num" | "id" | "op"
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, col, pos = 1, 1, 0
+    while pos < len(source):
+        match = TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}",
+                             line, col)
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str,
+                 records: Optional[Dict[str, Record]] = None):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.records: Dict[str, Record] = dict(records or {})
+        #: field name -> offset, merged over all records (field access
+        #: like ``x.next`` resolves through this map).
+        self.fields: Dict[str, int] = {}
+        for rec in self.records.values():
+            self._merge_fields(rec)
+
+    def _merge_fields(self, rec: Record) -> None:
+        for f in rec.fields:
+            off = rec.offset(f)
+            if f in self.fields and self.fields[f] != off:
+                raise ParseError(
+                    f"field {f!r} has conflicting offsets across records")
+            self.fields[f] = off
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[Token]:
+        idx = self.pos + ahead
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def _expect(self, text: str) -> Token:
+        tok = self._next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}",
+                             tok.line, tok.column)
+        return tok
+
+    def _accept(self, text: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_unit(self) -> Dict[str, MethodDef]:
+        """``record`` declarations followed by method definitions."""
+
+        methods: Dict[str, MethodDef] = {}
+        while not self.at_end():
+            if self._peek().text == "record":
+                self._parse_record()
+            else:
+                mdef = self.parse_method()
+                methods[mdef.name] = mdef
+        return methods
+
+    def _parse_record(self) -> None:
+        self._expect("record")
+        name = self._ident()
+        self._expect("{")
+        fields = []
+        while not self._accept("}"):
+            fields.append(self._ident())
+            self._expect(";")
+        rec = Record(name, *fields)
+        self.records[name] = rec
+        self._merge_fields(rec)
+
+    def parse_method(self) -> MethodDef:
+        name = self._ident()
+        self._expect("(")
+        param = self._ident()
+        self._expect(")")
+        self._expect("{")
+        locals_: Tuple[str, ...] = ()
+        if self._peek() is not None and self._peek().text == "local":
+            self._next()
+            names = [self._ident()]
+            while self._accept(","):
+                names.append(self._ident())
+            self._expect(";")
+            locals_ = tuple(names)
+        body = self._parse_block_until("}")
+        return MethodDef(name, param, locals_, body)
+
+    def _ident(self) -> str:
+        tok = self._next()
+        if tok.kind != "id":
+            raise ParseError(f"expected identifier, found {tok.text!r}",
+                             tok.line, tok.column)
+        return tok.text
+
+    # -- statements -----------------------------------------------------------
+
+    def _parse_block_until(self, closer: str) -> Stmt:
+        stmts = []
+        while not self._accept(closer):
+            stmts.append(self.parse_stmt())
+        return seq(*stmts)
+
+    def parse_stmt(self) -> Stmt:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in statement")
+        text = tok.text
+
+        if text == "skip":
+            self._next()
+            self._expect(";")
+            return Skip()
+        if text == "<":
+            self._next()
+            body = self._parse_block_until(">")
+            return Atomic(body)
+        if text == "{":
+            self._next()
+            return self._parse_block_until("}")
+        if text == "if":
+            return self._parse_if()
+        if text == "while":
+            self._next()
+            self._expect("(")
+            cond = self.parse_bool()
+            self._expect(")")
+            body = self.parse_stmt()
+            return While(cond, body)
+        if text == "do":
+            # do { C } while (B);  desugars to  C; while (B) { C }
+            self._next()
+            body = self.parse_stmt()
+            self._expect("while")
+            self._expect("(")
+            cond = self.parse_bool()
+            self._expect(")")
+            self._expect(";")
+            return seq(body, While(cond, body))
+        if text == "return":
+            self._next()
+            expr = self.parse_expr()
+            self._expect(";")
+            return Return(expr)
+        if text == "dispose":
+            self._next()
+            self._expect("(")
+            addr = self.parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return Dispose(addr)
+        if text == "assume":
+            self._next()
+            self._expect("(")
+            cond = self.parse_bool()
+            self._expect(")")
+            self._expect(";")
+            return Assume(cond)
+        if text == "linself":
+            from ..instrument.commands import LinSelf
+
+            self._next()
+            self._expect(";")
+            return LinSelf()
+        if text == "trylinself":
+            from ..instrument.commands import TryLinSelf
+
+            self._next()
+            self._expect(";")
+            return TryLinSelf()
+        if text in ("lin", "trylin"):
+            from ..instrument.commands import Lin, TryLin
+
+            self._next()
+            self._expect("(")
+            expr = self.parse_expr()
+            self._expect(")")
+            self._expect(";")
+            return Lin(expr) if text == "lin" else TryLin(expr)
+        if text == "trylin_ro":
+            from ..instrument.commands import TryLinReadOnly
+
+            self._next()
+            self._expect("(")
+            method = self._ident()
+            self._expect(")")
+            self._expect(";")
+            return TryLinReadOnly(method)
+        if text == "[":
+            # [E] := E';
+            self._next()
+            addr = self.parse_expr()
+            self._expect("]")
+            self._expect(":=")
+            value = self.parse_expr()
+            self._expect(";")
+            return Store(addr, value)
+        return self._parse_assignment()
+
+    def _parse_if(self) -> Stmt:
+        self._expect("if")
+        self._expect("(")
+        cond = self.parse_bool()
+        self._expect(")")
+        then = self.parse_stmt()
+        els: Stmt = Skip()
+        if self._accept("else"):
+            els = self.parse_stmt()
+        return If(cond, then, els)
+
+    def _parse_assignment(self) -> Stmt:
+        target = self._ident()
+        if self._accept("."):
+            # x.field := E;
+            field = self._ident()
+            self._expect(":=")
+            value = self.parse_expr()
+            self._expect(";")
+            return Store(self._field_addr(Var(target), field), value)
+        self._expect(":=")
+        return self._parse_rhs(target)
+
+    def _field_addr(self, base: Expr, field: str) -> Expr:
+        if field not in self.fields:
+            raise ParseError(f"unknown record field {field!r}")
+        off = self.fields[field]
+        return base if off == 0 else BinOp("+", base, Const(off))
+
+    def _parse_rhs(self, target: str) -> Stmt:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input after ':='")
+        if tok.text == "new":
+            self._next()
+            rec_name = self._ident()
+            if rec_name not in self.records:
+                raise ParseError(f"unknown record {rec_name!r}")
+            rec = self.records[rec_name]
+            self._expect("(")
+            inits = []
+            if not self._accept(")"):
+                inits.append(self.parse_expr())
+                while self._accept(","):
+                    inits.append(self.parse_expr())
+                self._expect(")")
+            while len(inits) < rec.size:
+                inits.append(Const(0))
+            if len(inits) > rec.size:
+                raise ParseError(
+                    f"record {rec_name!r} has {rec.size} fields, "
+                    f"{len(inits)} initialisers given")
+            self._expect(";")
+            return Alloc(target, tuple(inits))
+        if tok.text == "cons":
+            # raw allocation: x := cons(E1, ..., En);
+            self._next()
+            self._expect("(")
+            inits = []
+            if not self._accept(")"):
+                inits.append(self.parse_expr())
+                while self._accept(","):
+                    inits.append(self.parse_expr())
+                self._expect(")")
+            self._expect(";")
+            return Alloc(target, tuple(inits))
+        if tok.text == "nondet":
+            self._next()
+            self._expect("(")
+            choices = [self.parse_expr()]
+            while self._accept(","):
+                choices.append(self.parse_expr())
+            self._expect(")")
+            self._expect(";")
+            return NondetChoice(target, tuple(choices))
+        if tok.text in ("cas", "cas_val"):
+            return self._parse_cas(target, tok.text)
+        if tok.text == "[":
+            self._next()
+            addr = self.parse_expr()
+            self._expect("]")
+            self._expect(";")
+            return Load(target, addr)
+        # x := E.field  /  x := E
+        expr = self.parse_expr()
+        if self._accept("."):
+            field = self._ident()
+            self._expect(";")
+            return Load(target, self._field_addr(expr, field))
+        self._expect(";")
+        return Assign(target, expr)
+
+    def _parse_cas(self, target: str, kind: str) -> Stmt:
+        from .builders import cas_cell, cas_val_cell, cas_val_var, cas_var
+
+        self._next()
+        self._expect("(")
+        self._expect("&")
+        tok = self._peek()
+        is_cell = tok is not None and tok.text == "["
+        if is_cell:
+            self._next()
+            addr = self.parse_expr()
+            self._expect("]")
+        else:
+            var_name = self._ident()
+            if self._accept("."):
+                field = self._ident()
+                addr = self._field_addr(Var(var_name), field)
+                is_cell = True
+        self._expect(",")
+        old = self.parse_expr()
+        self._expect(",")
+        new = self.parse_expr()
+        self._expect(")")
+        self._expect(";")
+        if kind == "cas":
+            if is_cell:
+                return cas_cell(target, addr, old, new)
+            return cas_var(target, var_name, old, new)
+        if is_cell:
+            return cas_val_cell(target, addr, old, new)
+        return cas_val_var(target, var_name, old, new)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.text in ("+", "-"):
+                self._next()
+                right = self._parse_multiplicative()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok is not None and tok.text in ("*", "/", "%"):
+                self._next()
+                right = self._parse_primary()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def _parse_primary(self) -> Expr:
+        tok = self._next()
+        if tok.kind == "num":
+            return Const(int(tok.text))
+        if tok.text == "null":
+            return Const(0)
+        if tok.text == "(":
+            expr = self.parse_expr()
+            self._expect(")")
+            return expr
+        if tok.text == "-":
+            return UnOp("-", self._parse_primary())
+        if tok.kind == "id":
+            return Var(tok.text)
+        raise ParseError(f"unexpected token {tok.text!r} in expression",
+                         tok.line, tok.column)
+
+    # -- boolean expressions ------------------------------------------------------
+
+    def parse_bool(self) -> BoolExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> BoolExpr:
+        left = self._parse_and()
+        while self._accept("||"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> BoolExpr:
+        left = self._parse_bool_atom()
+        while self._accept("&&"):
+            left = And(left, self._parse_bool_atom())
+        return left
+
+    def _parse_bool_atom(self) -> BoolExpr:
+        tok = self._peek()
+        if tok is None:
+            raise ParseError("unexpected end of input in condition")
+        if tok.text == "true":
+            self._next()
+            return BConst(True)
+        if tok.text == "false":
+            self._next()
+            return BConst(False)
+        if tok.text == "!":
+            self._next()
+            return Not(self._parse_bool_atom())
+        if tok.text == "(":
+            # could be a parenthesised boolean or a parenthesised
+            # arithmetic expression starting a comparison
+            saved = self.pos
+            try:
+                self._next()
+                inner = self.parse_bool()
+                self._expect(")")
+                nxt = self._peek()
+                if nxt is not None and nxt.text in ("=", "!=", "<", "<=",
+                                                    ">", ">="):
+                    raise ParseError("comparison of boolean")
+                return inner
+            except ParseError:
+                self.pos = saved
+        left = self.parse_expr()
+        tok = self._next()
+        if tok.text not in ("=", "!=", "<", "<=", ">", ">="):
+            raise ParseError(
+                f"expected comparison operator, found {tok.text!r}",
+                tok.line, tok.column)
+        right = self.parse_expr()
+        return Cmp(tok.text, left, right)
+
+
+def parse_method(source: str,
+                 records: Optional[Dict[str, Record]] = None) -> MethodDef:
+    """Parse one method definition."""
+
+    parser = Parser(source, records)
+    mdef = parser.parse_method()
+    if not parser.at_end():
+        tok = parser._peek()
+        raise ParseError(f"trailing input after method: {tok.text!r}",
+                         tok.line, tok.column)
+    return mdef
+
+
+def parse_methods(source: str,
+                  records: Optional[Dict[str, Record]] = None
+                  ) -> Dict[str, MethodDef]:
+    """Parse ``record`` declarations and any number of methods."""
+
+    return Parser(source, records).parse_unit()

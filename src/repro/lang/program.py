@@ -1,0 +1,157 @@
+"""Programs, method declarations and object implementations (Fig. 3).
+
+A program ``W ::= let Π in C1 ∥ ... ∥ Cn`` consists of an object
+implementation ``Π`` (a map from method names to ``(x, C)`` pairs) and
+client threads.  The abstract counterpart ``with Γ do C1 ∥ ... ∥ Cn`` lives
+in :mod:`repro.semantics.abstract`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import LanguageError
+from .ast import Call, Return, Seq, Stmt, While, If, Atomic
+
+
+@dataclass(frozen=True)
+class MethodDef:
+    """A method declaration ``f(x) { local ...; C }``.
+
+    ``param`` is the single formal argument (the paper assumes one argument
+    per method; tuples can be encoded through the heap).  ``locals`` are
+    method-local variables, initialised to ``0`` on entry.
+    """
+
+    name: str
+    param: str
+    locals: Tuple[str, ...]
+    body: Stmt
+
+    def __post_init__(self):
+        if self.param in self.locals:
+            raise LanguageError(
+                f"method {self.name}: parameter {self.param!r} shadows a local"
+            )
+
+    def local_vars(self) -> frozenset:
+        """All variables resolved in the method-local store σ_l."""
+        return frozenset(self.locals) | {self.param}
+
+
+class ObjectImpl:
+    """An object implementation ``Π`` plus its initial object memory σ_o.
+
+    ``object_vars`` lists the object's global program variables (e.g. ``S``
+    for the Treiber stack); everything not method-local resolves into the
+    shared object memory.  ``initial_memory`` maps those variables (and any
+    pre-allocated heap addresses) to their initial values.
+    """
+
+    def __init__(
+        self,
+        methods: Mapping[str, MethodDef],
+        initial_memory: Optional[Mapping] = None,
+        name: str = "object",
+    ):
+        self.name = name
+        self.methods: Dict[str, MethodDef] = dict(methods)
+        self.initial_memory = dict(initial_memory or {})
+        for mname, mdef in self.methods.items():
+            if mname != mdef.name:
+                raise LanguageError(
+                    f"method registered as {mname!r} but declares name {mdef.name!r}"
+                )
+            _check_method_body(mdef.body)
+
+    def method(self, name: str) -> MethodDef:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise LanguageError(f"object {self.name!r} has no method {name!r}")
+
+    def method_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.methods))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.methods
+
+    def __repr__(self) -> str:
+        return f"ObjectImpl({self.name!r}, methods={sorted(self.methods)})"
+
+
+def _check_method_body(stmt: Stmt, *, in_atomic: bool = False) -> None:
+    """Reject client-only statements inside method bodies.
+
+    The paper forbids methods from producing external events and from
+    nested method calls (Sec. 3.1).
+    """
+
+    if isinstance(stmt, Call):
+        raise LanguageError("nested method calls are not allowed (Sec. 3.1)")
+    from .ast import Print
+
+    if isinstance(stmt, Print):
+        raise LanguageError("methods may not produce external events (print)")
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _check_method_body(s, in_atomic=in_atomic)
+    elif isinstance(stmt, If):
+        _check_method_body(stmt.then, in_atomic=in_atomic)
+        _check_method_body(stmt.els, in_atomic=in_atomic)
+    elif isinstance(stmt, While):
+        _check_method_body(stmt.body, in_atomic=in_atomic)
+    elif isinstance(stmt, Atomic):
+        if in_atomic:
+            raise LanguageError("nested atomic blocks are not allowed")
+        _check_method_body(stmt.body, in_atomic=True)
+    elif isinstance(stmt, Return) and in_atomic:
+        raise LanguageError("return inside an atomic block is not supported")
+
+
+@dataclass(frozen=True)
+class Program:
+    """``let Π in C1 ∥ ... ∥ Cn`` with an initial client memory σ_c.
+
+    Thread ids are ``1..n`` in the order of ``clients``.
+
+    ``private_client_vars`` is a promise that each client thread reads and
+    writes a disjoint set of client variables (true for the generated
+    most-general clients); the explorer then treats client-variable steps
+    as thread-local and compresses them.
+    """
+
+    object_impl: ObjectImpl
+    clients: Tuple[Stmt, ...]
+    initial_client_memory: Tuple[Tuple[str, int], ...] = field(default=())
+    private_client_vars: bool = False
+
+    def __post_init__(self):
+        if not self.clients:
+            raise LanguageError("a program needs at least one client thread")
+        for client in self.clients:
+            _check_client_body(client, self.object_impl)
+
+    @property
+    def thread_ids(self) -> Tuple[int, ...]:
+        return tuple(range(1, len(self.clients) + 1))
+
+
+def _check_client_body(stmt: Stmt, impl: ObjectImpl) -> None:
+    """Clients may call declared methods but may not ``return``."""
+
+    if isinstance(stmt, Return):
+        raise LanguageError("clients may not use return")
+    if isinstance(stmt, Call) and stmt.method not in impl:
+        raise LanguageError(f"client calls undeclared method {stmt.method!r}")
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _check_client_body(s, impl)
+    elif isinstance(stmt, If):
+        _check_client_body(stmt.then, impl)
+        _check_client_body(stmt.els, impl)
+    elif isinstance(stmt, While):
+        _check_client_body(stmt.body, impl)
+    elif isinstance(stmt, Atomic):
+        _check_client_body(stmt.body, impl)

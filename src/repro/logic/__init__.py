@@ -1,0 +1,39 @@
+"""The relational rely-guarantee logic (Sec. 4): proof outlines, VCs,
+bounded domains, the Fig. 12 proof, and the Sec. 2.1 basic-logic ablation."""
+
+from .assertions import (
+    AndA,
+    BoolCond,
+    Implies,
+    NotA,
+    OrA,
+    Pred,
+    ProofState,
+    RelAssert,
+    SpecAll,
+    SpecHolds,
+    TrueR,
+)
+from .basic import (
+    BasicLogicVerdict,
+    basic_logic_verdict,
+    linself_placements,
+    uses_only_basic_commands,
+)
+from .domain import StateDomain, product_states
+from .outline import (
+    ExecEdge,
+    GuardEdge,
+    OutlineReport,
+    ProofOutline,
+    VCResult,
+)
+
+__all__ = [
+    "AndA", "BoolCond", "Implies", "NotA", "OrA", "Pred", "ProofState",
+    "RelAssert", "SpecAll", "SpecHolds", "TrueR",
+    "BasicLogicVerdict", "basic_logic_verdict", "linself_placements",
+    "uses_only_basic_commands",
+    "StateDomain", "product_states",
+    "ExecEdge", "GuardEdge", "OutlineReport", "ProofOutline", "VCResult",
+]

@@ -1,0 +1,177 @@
+"""Relational assertions for proof outlines (the pragmatic layer).
+
+The definitional resource semantics of Fig. 8 lives in
+:mod:`repro.assertions.fig8`; proof outlines use *semantic* assertion
+objects instead: predicates over a :class:`ProofState` (the executing
+thread's σ_l, the shared σ_o, and Δ), composed with boolean combinators
+and speculation-pattern atoms.  The paper's ``p ⊕ true`` weakenings map
+to the existential :class:`SpecHolds`; ``commit``'s postconditions map to
+the universal :class:`SpecAll`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..assertions.patterns import SpecPattern
+from ..errors import EvalError
+from ..instrument.state import Delta
+from ..lang.ast import BoolExpr
+from ..memory.store import Store
+from ..semantics.eval import eval_bool_in, lookup_in
+
+
+@dataclass(frozen=True)
+class ProofState:
+    """The view of one thread's judgment state."""
+
+    locals: Store
+    sigma_o: Store
+    delta: Delta
+
+    def lookup(self, tid: int):
+        base = lookup_in(self.locals, self.sigma_o)
+
+        def look(name: str) -> int:
+            if name == "cid":
+                return tid
+            return base(name)
+
+        return look
+
+
+class RelAssert:
+    """Base class; ``holds(state, tid) -> bool``."""
+
+    def holds(self, state: ProofState, tid: int) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "RelAssert") -> "RelAssert":
+        return AndA((self, other))
+
+    def __or__(self, other: "RelAssert") -> "RelAssert":
+        return OrA((self, other))
+
+    def __invert__(self) -> "RelAssert":
+        return NotA(self)
+
+
+@dataclass(frozen=True)
+class Pred(RelAssert):
+    """A named semantic predicate ``f(state, tid) -> bool``."""
+
+    func: Callable
+    name: str = "<pred>"
+
+    def holds(self, state: ProofState, tid: int) -> bool:
+        return bool(self.func(state, tid))
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class BoolCond(RelAssert):
+    """A language-level boolean expression over σ_l ⊎ σ_o."""
+
+    cond: BoolExpr
+
+    def holds(self, state: ProofState, tid: int) -> bool:
+        try:
+            return eval_bool_in(self.cond, self.locals_view(state, tid))
+        except EvalError:
+            return False
+
+    @staticmethod
+    def locals_view(state: ProofState, tid: int) -> Store:
+        return Store({"cid": tid, **dict(state.sigma_o),
+                      **dict(state.locals)})
+
+    def __str__(self):
+        return str(self.cond)
+
+
+@dataclass(frozen=True)
+class AndA(RelAssert):
+    parts: Tuple[RelAssert, ...]
+
+    def holds(self, state, tid):
+        return all(p.holds(state, tid) for p in self.parts)
+
+    def __str__(self):
+        return " /\\ ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class OrA(RelAssert):
+    parts: Tuple[RelAssert, ...]
+
+    def holds(self, state, tid):
+        return any(p.holds(state, tid) for p in self.parts)
+
+    def __str__(self):
+        return " \\/ ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class NotA(RelAssert):
+    part: RelAssert
+
+    def holds(self, state, tid):
+        return not self.part.holds(state, tid)
+
+    def __str__(self):
+        return f"!({self.part})"
+
+
+@dataclass(frozen=True)
+class Implies(RelAssert):
+    premise: RelAssert
+    conclusion: RelAssert
+
+    def holds(self, state, tid):
+        return (not self.premise.holds(state, tid)
+                or self.conclusion.holds(state, tid))
+
+    def __str__(self):
+        return f"({self.premise}) => ({self.conclusion})"
+
+
+@dataclass(frozen=True)
+class TrueR(RelAssert):
+    def holds(self, state, tid):
+        return True
+
+    def __str__(self):
+        return "true"
+
+
+@dataclass(frozen=True)
+class SpecHolds(RelAssert):
+    """``pattern ⊕ true``: *some* speculation extends the pattern."""
+
+    pattern: SpecPattern
+
+    def holds(self, state: ProofState, tid: int) -> bool:
+        look = state.lookup(tid)
+        return any(self.pattern.matches(pair, look)
+                   for pair in state.delta)
+
+    def __str__(self):
+        return f"<{self.pattern}> (+) true"
+
+
+@dataclass(frozen=True)
+class SpecAll(RelAssert):
+    """*Every* speculation extends the pattern (commit postconditions)."""
+
+    pattern: SpecPattern
+
+    def holds(self, state: ProofState, tid: int) -> bool:
+        look = state.lookup(tid)
+        return all(self.pattern.matches(pair, look)
+                   for pair in state.delta)
+
+    def __str__(self):
+        return f"all: {self.pattern}"

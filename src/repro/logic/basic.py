@@ -1,0 +1,265 @@
+"""The Sec. 2.1 "basic logic": fixed LPs, ``linself`` only — an ablation.
+
+The paper starts from a simple logic whose only auxiliary command is
+``linself`` inserted at a statically chosen LP.  It verifies Treiber's
+stack but cannot handle the helping mechanism (no ``lin(E)``) nor
+future-dependent LPs (no ``trylin``/``commit``).  This module makes the
+limitation *demonstrable*:
+
+* :func:`uses_only_basic_commands` classifies an instrumentation;
+* :func:`linself_placements` enumerates every way of instrumenting a
+  method with a single conditional ``linself`` per atomic block — the
+  whole search space of the basic logic;
+* :func:`basic_logic_verdict` tries every placement combination and
+  reports whether *any* of them verifies — for the pair snapshot the
+  answer is no, while Treiber's stack admits the paper's Fig. 1a
+  placement (E9; the HSY stack's need for ``lin(E)`` is demonstrated
+  separately by stripping the helping command from its registry proof).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..instrument.commands import (
+    AUX_STMTS,
+    Commit,
+    Ghost,
+    Lin,
+    LinSelf,
+    TryLin,
+    TryLinReadOnly,
+    TryLinSelf,
+    linself,
+)
+from ..instrument.runner import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    verify_instrumented,
+)
+from ..lang.ast import Atomic, If, Seq, Skip, Stmt, While, seq
+from ..lang.program import ObjectImpl
+from ..semantics.mgc import CallMenu
+from ..semantics.scheduler import Limits
+from ..spec.gamma import OSpec
+
+
+def uses_only_basic_commands(stmt: Stmt) -> bool:
+    """True iff the instrumentation uses nothing beyond ``linself``."""
+
+    if isinstance(stmt, (Lin, TryLin, TryLinSelf, TryLinReadOnly, Commit,
+                         Ghost)):
+        return False
+    if isinstance(stmt, Seq):
+        return all(uses_only_basic_commands(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        return (uses_only_basic_commands(stmt.then)
+                and uses_only_basic_commands(stmt.els))
+    if isinstance(stmt, While):
+        return uses_only_basic_commands(stmt.body)
+    if isinstance(stmt, Atomic):
+        return uses_only_basic_commands(stmt.body)
+    return True
+
+
+def _atomic_count(stmt: Stmt) -> int:
+    if isinstance(stmt, Atomic):
+        return 1
+    if isinstance(stmt, Seq):
+        return sum(_atomic_count(s) for s in stmt.stmts)
+    if isinstance(stmt, (If,)):
+        return _atomic_count(stmt.then) + _atomic_count(stmt.els)
+    if isinstance(stmt, While):
+        return _atomic_count(stmt.body)
+    return 0
+
+
+def _assigned_vars(stmt: Stmt) -> List[str]:
+    from ..lang.ast import Assign, Load
+
+    if isinstance(stmt, (Assign, Load)):
+        return [stmt.var]
+    if isinstance(stmt, Seq):
+        out = []
+        for s in stmt.stmts:
+            out.extend(_assigned_vars(s))
+        return out
+    if isinstance(stmt, If):
+        return _assigned_vars(stmt.then) + _assigned_vars(stmt.els)
+    if isinstance(stmt, While):
+        return _assigned_vars(stmt.body)
+    return []
+
+
+def _atomic_body_variants(body: Stmt) -> List[Stmt]:
+    """All ways to insert one (possibly guarded) ``linself`` into an
+    atomic block's body: at the end of the block, at the end of any
+    then/else branch, or guarded by a zero-test of any variable the block
+    assigns (covering the paper's conditional LPs like Fig. 1a line 7'
+    and the empty-case LP ``<t := S; if (t = 0) linself>``)."""
+
+    from ..lang.builders import eq, if_, neq
+
+    variants = [seq(body, linself())]
+    seen_vars = []
+    for var in _assigned_vars(body):
+        if var not in seen_vars:
+            seen_vars.append(var)
+    for var in seen_vars:
+        variants.append(seq(body, if_(eq(var, 0), linself())))
+        variants.append(seq(body, if_(neq(var, 0), linself())))
+
+    def rebuild(stmt: Stmt, target: int, which: str,
+                counter: List[int]) -> Stmt:
+        if isinstance(stmt, If):
+            idx = counter[0]
+            counter[0] += 1
+            then = rebuild(stmt.then, target, which, counter)
+            els = rebuild(stmt.els, target, which, counter)
+            if idx == target:
+                if which == "then":
+                    then = seq(then, linself())
+                else:
+                    els = seq(els, linself())
+            return If(stmt.cond, then, els)
+        if isinstance(stmt, Seq):
+            return Seq(tuple(rebuild(s, target, which, counter)
+                             for s in stmt.stmts))
+        if isinstance(stmt, While):
+            return While(stmt.cond,
+                         rebuild(stmt.body, target, which, counter))
+        return stmt
+
+    def count_ifs(stmt: Stmt) -> int:
+        if isinstance(stmt, If):
+            return 1 + count_ifs(stmt.then) + count_ifs(stmt.els)
+        if isinstance(stmt, Seq):
+            return sum(count_ifs(s) for s in stmt.stmts)
+        if isinstance(stmt, While):
+            return count_ifs(stmt.body)
+        return 0
+
+    for n in range(count_ifs(body)):
+        for which in ("then", "els"):
+            variants.append(rebuild(body, n, which, [0]))
+    return variants
+
+
+def _instrument_nth_point(stmt: Stmt, n: int, counter: List[int]) -> Stmt:
+    """Apply the ``n``-th (atomic-block, variant) insertion point."""
+
+    if isinstance(stmt, Atomic):
+        variants = _atomic_body_variants(stmt.body)
+        start = counter[0]
+        counter[0] += len(variants)
+        if start <= n < start + len(variants):
+            return Atomic(variants[n - start])
+        return stmt
+    if isinstance(stmt, Seq):
+        return Seq(tuple(_instrument_nth_point(s, n, counter)
+                         for s in stmt.stmts))
+    if isinstance(stmt, If):
+        return If(stmt.cond,
+                  _instrument_nth_point(stmt.then, n, counter),
+                  _instrument_nth_point(stmt.els, n, counter))
+    if isinstance(stmt, While):
+        return While(stmt.cond, _instrument_nth_point(stmt.body, n, counter))
+    return stmt
+
+
+def _placement_count(stmt: Stmt) -> int:
+    if isinstance(stmt, Atomic):
+        return len(_atomic_body_variants(stmt.body))
+    if isinstance(stmt, Seq):
+        return sum(_placement_count(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        return _placement_count(stmt.then) + _placement_count(stmt.els)
+    if isinstance(stmt, While):
+        return _placement_count(stmt.body)
+    return 0
+
+
+def linself_placements(body: Stmt, max_points: int = 2) -> List[Stmt]:
+    """Basic-logic instrumentations of ``body``.
+
+    Insertion points are the end of any atomic block or of any branch
+    inside one.  Different *paths* may carry different LPs (Treiber's pop
+    linearizes at the empty read or at the successful cas), so we
+    enumerate all subsets of up to ``max_points`` insertion points —
+    the search space of statically placed ``linself`` commands.
+    """
+
+    total = _placement_count(body)
+    variants: List[Stmt] = []
+    for size in range(1, max_points + 1):
+        for points in itertools.combinations(range(total), size):
+            variant = body
+            for n in points:
+                variant = _instrument_nth_point(variant, n, [0])
+            variants.append(variant)
+    return variants
+
+
+@dataclass
+class BasicLogicVerdict:
+    """Outcome of exhausting the basic logic's placement space."""
+
+    object_name: str
+    verifiable: bool
+    placements_tried: int
+    witness: Optional[Dict[str, int]] = None  # method -> atomic index
+
+    def summary(self) -> str:
+        if self.verifiable:
+            return (f"{self.object_name}: basic logic verifies with LPs at "
+                    f"{self.witness} ({self.placements_tried} placements "
+                    f"tried)")
+        return (f"{self.object_name}: NO fixed-linself placement verifies "
+                f"({self.placements_tried} combinations tried) — the basic "
+                f"logic of Sec. 2.1 cannot prove this object")
+
+
+def basic_logic_verdict(impl: ObjectImpl, spec: OSpec, menu: CallMenu,
+                        threads: int = 2, ops_per_thread: int = 1,
+                        limits: Optional[Limits] = None,
+                        max_combinations: int = 5000
+                        ) -> BasicLogicVerdict:
+    """Try every combination of single-``linself`` placements.
+
+    The placement space is the product over methods of their atomic
+    blocks.  A combination verifies when the instrumented runner finds no
+    violated obligation; the basic logic can prove the object iff some
+    combination verifies.
+    """
+
+    method_names = sorted(impl.methods)
+    placement_lists = []
+    for name in method_names:
+        variants = linself_placements(impl.methods[name].body)
+        if not variants:
+            variants = [impl.methods[name].body]  # no atomic block at all
+        placement_lists.append(variants)
+
+    tried = 0
+    for combo in itertools.product(*(range(len(p))
+                                     for p in placement_lists)):
+        if tried >= max_combinations:
+            break
+        tried += 1
+        methods = {}
+        for name, variant_idx, variants in zip(method_names, combo,
+                                               placement_lists):
+            mdef = impl.methods[name]
+            methods[name] = InstrumentedMethod(
+                name, mdef.param, mdef.locals, variants[variant_idx])
+        iobj = InstrumentedObject(impl.name, methods, spec,
+                                  impl.initial_memory)
+        result = verify_instrumented(iobj, menu, threads, ops_per_thread,
+                                     limits)
+        if result.ok and not result.bounded:
+            return BasicLogicVerdict(
+                impl.name, True, tried,
+                witness=dict(zip(method_names, combo)))
+    return BasicLogicVerdict(impl.name, False, tried)

@@ -1,0 +1,55 @@
+"""Finite state domains for discharging verification conditions.
+
+The paper discharges the Fig. 10 obligations deductively; our checker
+discharges them *semantically*, quantifying over a finite
+:class:`StateDomain` — an explicit enumeration of the proof-relevant
+states plus a generative rely relation.  This is the bounded-checking
+substitution recorded in DESIGN.md: a VC that fails is a genuine proof
+error; a VC that passes is established for every state of the domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..instrument.state import Delta
+from ..memory.store import Store
+from .assertions import ProofState
+
+
+@dataclass
+class StateDomain:
+    """A finite universe of :class:`ProofState` plus a rely relation.
+
+    ``rely`` maps the *shared* part ``(σ_o, Δ)`` to its possible
+    environment successors (the ``R * Id`` closure of Def. 5: locals are
+    untouched).
+    """
+
+    states: Tuple[ProofState, ...]
+    rely: Callable[[Store, Delta], Iterable[Tuple[Store, Delta]]] = \
+        lambda sigma_o, delta: ()
+    name: str = "domain"
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def rely_successors(self, state: ProofState) -> Iterable[ProofState]:
+        for sigma_o, delta in self.rely(state.sigma_o, state.delta):
+            yield ProofState(state.locals, sigma_o, delta)
+
+
+def product_states(local_vars: Dict[str, Sequence[int]],
+                   shared_parts: Iterable[Tuple[Store, Delta]]
+                   ) -> List[ProofState]:
+    """Cross local-variable valuations with shared-state candidates."""
+
+    names = sorted(local_vars)
+    out = []
+    for shared_sigma, delta in shared_parts:
+        for values in itertools.product(*(local_vars[n] for n in names)):
+            out.append(ProofState(Store(dict(zip(names, values))),
+                                  shared_sigma, delta))
+    return out

@@ -1,0 +1,231 @@
+"""The Fig. 12 proof: ``readPair`` of the pair snapshot.
+
+This module transcribes the paper's proof outline into our checker:
+
+* the precise invariant ``I`` maps every concrete cell ``(d, v)`` to an
+  abstract cell holding ``d``;
+* ``R = G = [Write]_I`` — a write changes one cell's data and increments
+  its version (and, abstractly, executes the WRITE operation);
+* the loop invariant relaxes the precondition to
+  ``cid ↣ (γ, (i,j)) ⊕ true``;
+* ``readCell(i, a, v; v')`` — either cell ``i`` still holds ``(a, v)`` or
+  its version moved on;
+* ``afterTry`` — after the ``trylinself`` at the second read, if cell
+  ``i``'s version is still ``v`` then the speculation
+  ``cid ↣ (end, (a, b))`` is present (the paper's ``absRes``);
+* the ``commit`` after the successful validation leaves every speculation
+  at ``cid ↣ (end, (a, b))``, which discharges the RET rule.
+
+The verification conditions are checked over a finite domain of cell
+contents, versions, local values and speculation shapes (bounded
+semantic checking; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Tuple
+
+from ..algorithms.pair_snapshot import CELL_BASE, cell_d, cell_v
+from ..algorithms.specs import BASE, pack2, snapshot_spec
+from ..assertions.patterns import ThreadDone, ThreadIs, pattern, commit_p
+from ..instrument import commit, trylinself
+from ..instrument.state import Delta, op_of, end_of
+from ..lang import Var, seq
+from ..lang.builders import add, assign, eq, if_, load, mul
+from ..memory.store import Store
+from .assertions import Pred, ProofState, RelAssert, SpecAll, SpecHolds
+from .domain import StateDomain, product_states
+from .outline import ExecEdge, GuardEdge, OutlineReport, ProofOutline
+
+#: Bounded value domains for the VC check.
+DATA_VALUES = (0, 1)
+VERSION_VALUES = (0, 1, 2)
+MAX_VERSION = max(VERSION_VALUES)
+
+TID = 1
+ARG = pack2(0, 1)  # readPair(0, 1)
+
+SPEC = snapshot_spec(size=2)
+
+
+def _cells(sigma: Store) -> Tuple[int, int, int, int]:
+    return (sigma[CELL_BASE], sigma[CELL_BASE + 1],
+            sigma[CELL_BASE + 2], sigma[CELL_BASE + 3])
+
+
+# -- assertions --------------------------------------------------------------
+
+
+def _inv(state: ProofState, tid: int) -> bool:
+    """``I``: every speculation's abstract array equals the concrete data."""
+
+    d0, _v0, d1, _v1 = _cells(state.sigma_o)
+    return all(th["m"] == (d0, d1) for _u, th in state.delta)
+
+
+I = Pred(_inv, "I")
+
+PENDING = SpecHolds(pattern(ThreadIs(Var("cid"), "readPair", ARG)))
+
+LOCALS_FIXED = Pred(
+    lambda s, t: s.locals["i"] == 0 and s.locals["j"] == 1,
+    "i = 0 /\\ j = 1")
+
+
+def _read_cell_i(state: ProofState, tid: int) -> bool:
+    """``readCell(i, a, v; v')``: cell i is still (a, v), or its version
+    moved on.  Versions are monotone (every write bumps them), so a value
+    read earlier is never *ahead* of the current version — making this
+    explicit keeps the assertion stable under R in the bounded domain."""
+
+    d0, v0, _d1, _v1 = _cells(state.sigma_o)
+    a, v = state.locals["a"], state.locals["v"]
+    return (d0 == a and v0 == v) or v0 > v
+
+
+READ_CELL_I = Pred(_read_cell_i, "readCell(i,a,v)")
+
+
+def _after_try(state: ProofState, tid: int) -> bool:
+    """``afterTry``'s absRes branch: if cell i's version is unchanged, the
+    speculation (end, (a, b)) must be available."""
+
+    _d0, v0, _d1, _v1 = _cells(state.sigma_o)
+    a, b, v = state.locals["a"], state.locals["b"], state.locals["v"]
+    if v0 > v:
+        return True  # validation will fail; any speculation is fine
+    if v0 < v:
+        return False  # unreachable: versions are monotone
+    want = end_of(pack2(a, b))
+    return any(u.get(tid) == want for u, _th in state.delta)
+
+
+AFTER_TRY = Pred(_after_try, "afterTry")
+
+RESULT_EXPR = add(mul("a", BASE), "b")
+COMMITTED = SpecAll(pattern(ThreadDone(Var("cid"), RESULT_EXPR)))
+
+DONE0 = Pred(lambda s, t: s.locals["done"] == 0, "done = 0")
+DONE1 = Pred(lambda s, t: s.locals["done"] == 1, "done = 1")
+
+
+# -- the instrumented atomic blocks of Fig. 12 -------------------------------
+
+ATOMIC_1 = seq(load("a", cell_d("i")), load("v", cell_v("i")))
+ATOMIC_2 = seq(load("b", cell_d("j")), load("w", cell_v("j")),
+               trylinself())
+ATOMIC_3 = seq(load("v2", cell_v("i")),
+               if_(eq("v", "v2"),
+                   seq(commit(commit_p(pattern(
+                       ThreadDone(Var("cid"), RESULT_EXPR)))),
+                       assign("done", 1))))
+
+
+def _guarantee(before, after, tid):
+    """``G = [Write]_I``: at most one cell written, version bumped."""
+
+    s0, s1 = before[0], after[0]
+    changed = [k for k in range(2)
+               if (s0[CELL_BASE + 2 * k], s0[CELL_BASE + 2 * k + 1])
+               != (s1[CELL_BASE + 2 * k], s1[CELL_BASE + 2 * k + 1])]
+    if not changed:
+        return True
+    if len(changed) > 1:
+        return False
+    (k,) = changed
+    return s1[CELL_BASE + 2 * k + 1] == s0[CELL_BASE + 2 * k + 1] + 1
+
+
+def build_outline() -> ProofOutline:
+    nodes = {
+        "L": I & PENDING & LOCALS_FIXED & DONE0,
+        "A1": I & PENDING & LOCALS_FIXED & DONE0 & READ_CELL_I,
+        "A2": I & PENDING & LOCALS_FIXED & DONE0 & READ_CELL_I & AFTER_TRY,
+        "A3": (I & LOCALS_FIXED
+               & (DONE1 & COMMITTED | DONE0 & PENDING)),
+        "C": I & COMMITTED,
+    }
+    edges = (
+        ExecEdge("L", ATOMIC_1, "A1", "line 2: <a := m[i].d; v := m[i].v>"),
+        ExecEdge("A1", ATOMIC_2, "A2",
+                 "line 3: <b := m[j].d; w := m[j].v; trylinself>"),
+        ExecEdge("A2", ATOMIC_3, "A3",
+                 "lines 4-5: validation + commit(cid >-> (end,(a,b)))"),
+        GuardEdge("A3", eq("done", 0), "L", "loop back"),
+        GuardEdge("A3", eq("done", 1), "C", "exit to return"),
+    )
+    return ProofOutline(
+        name="pair-snapshot readPair (Fig. 12)",
+        tid=TID,
+        spec=SPEC,
+        nodes=nodes,
+        edges=edges,
+        return_node="C",
+        return_expr=RESULT_EXPR,
+        guarantee=_guarantee,
+    )
+
+
+# -- the bounded domain -------------------------------------------------------
+
+
+def _shared_parts() -> Iterable[Tuple[Store, Delta]]:
+    pending_op = op_of("readPair", ARG)
+    rets = [pack2(a, b) for a in DATA_VALUES for b in DATA_VALUES]
+    for d0, v0, d1, v1 in itertools.product(DATA_VALUES, VERSION_VALUES,
+                                            DATA_VALUES, VERSION_VALUES):
+        sigma = Store({CELL_BASE: d0, CELL_BASE + 1: v0,
+                       CELL_BASE + 2: d1, CELL_BASE + 3: v1})
+        theta = Store({"m": (d0, d1)})
+        base = (Store({TID: pending_op}), theta)
+        # Δ shapes: the pending speculation plus up to two end-variants
+        # (the read-only trylinself never changes θ).
+        shapes: List[Delta] = [frozenset({base})]
+        for r in rets:
+            shapes.append(frozenset({base,
+                                     (Store({TID: end_of(r)}), theta)}))
+        for r1, r2 in itertools.combinations(rets, 2):
+            shapes.append(frozenset({base,
+                                     (Store({TID: end_of(r1)}), theta),
+                                     (Store({TID: end_of(r2)}), theta)}))
+        # Post-commit shapes: only end-speculations remain.
+        for r in rets:
+            shapes.append(frozenset({(Store({TID: end_of(r)}), theta)}))
+        for delta in shapes:
+            yield sigma, delta
+
+
+def _rely(sigma_o: Store, delta: Delta):
+    """``R = [Write]_I``: the environment writes one cell (and performs
+    the abstract WRITE in every speculation)."""
+
+    for k in range(2):
+        v_addr = CELL_BASE + 2 * k + 1
+        if sigma_o[v_addr] >= MAX_VERSION:
+            continue  # version domain is bounded
+        for d_new in DATA_VALUES:
+            sigma2 = (sigma_o.set(CELL_BASE + 2 * k, d_new)
+                      .set(v_addr, sigma_o[v_addr] + 1))
+            delta2 = frozenset(
+                (u, th.set("m", th["m"][:k] + (d_new,) + th["m"][k + 1:]))
+                for u, th in delta)
+            yield sigma2, delta2
+
+
+def build_domain() -> StateDomain:
+    local_vars = {
+        "i": (0,), "j": (1,),
+        "a": DATA_VALUES, "b": DATA_VALUES,
+        "v": VERSION_VALUES, "w": VERSION_VALUES, "v2": VERSION_VALUES,
+        "done": (0, 1),
+        "ij": (ARG,),
+    }
+    states = tuple(product_states(local_vars, _shared_parts()))
+    return StateDomain(states, _rely, name="fig12-domain")
+
+
+def check_fig12() -> OutlineReport:
+    """Check every VC of the Fig. 12 proof outline."""
+
+    return build_outline().check(build_domain())

@@ -1,0 +1,211 @@
+"""Proof outlines and their verification conditions (Fig. 10).
+
+A :class:`ProofOutline` is a small control-flow graph: *nodes* carry
+relational assertions (the annotations of Fig. 12), *edges* carry either
+an atomic program fragment (``ExecEdge`` — the ATOM rule: run the
+instrumented statement, including its auxiliary commands, and land in the
+target assertion while satisfying the guarantee) or a pure boolean guard
+(``GuardEdge`` — a consequence/case-split step).  A designated return
+node carries the RET obligation: every speculation records
+``cid ↣ (end, [[E]])``.
+
+Verification conditions are discharged over a finite
+:class:`~repro.logic.domain.StateDomain`:
+
+* **atom**      — ``{p} <C̃> {q}`` and ``G`` (ATOM);
+* **guard**     — ``p ∧ B ⇒ q`` (consequence);
+* **stability** — ``Sta(p, R)`` for every node (ATOM-R);
+* **return**    — the RET rule at the return node.
+
+Auxiliary commands that get stuck (``commit`` on ∅, ``lin`` without a
+pending operation) fail the atom VC, mirroring how the paper's rules
+simply do not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import BoundExceeded, EvalError
+from ..instrument.runner import Guarantee
+from ..instrument.semantics import AuxStuck, InstrCtx, instrumented_handler
+from ..lang.ast import BoolExpr, Expr, Stmt
+from ..memory.store import Store
+from ..semantics.eval import eval_bool_in, eval_in
+from ..semantics.thread import Env, Fault, run_block
+from ..spec.gamma import OSpec
+from .assertions import ProofState, RelAssert
+from .domain import StateDomain
+
+
+@dataclass(frozen=True)
+class ExecEdge:
+    """``{src} <stmt> {dst}`` — one atomic step of the outline."""
+
+    src: str
+    stmt: Stmt
+    dst: str
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class GuardEdge:
+    """``src ∧ guard ⇒ dst`` — a pure case split / consequence step."""
+
+    src: str
+    guard: Optional[BoolExpr]
+    dst: str
+    label: str = ""
+
+
+Edge = Union[ExecEdge, GuardEdge]
+
+
+@dataclass
+class VCResult:
+    name: str
+    ok: bool
+    checked_states: int
+    message: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        msg = f" — {self.message}" if self.message else ""
+        return f"[{status}] {self.name} ({self.checked_states} states){msg}"
+
+
+@dataclass
+class OutlineReport:
+    results: List[VCResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def summary(self) -> str:
+        good = sum(1 for r in self.results if r.ok)
+        lines = [f"{good}/{len(self.results)} verification conditions hold"]
+        lines += [str(r) for r in self.results if not r.ok]
+        return "\n".join(lines)
+
+
+@dataclass
+class ProofOutline:
+    """An annotated method proof."""
+
+    name: str
+    tid: int
+    spec: OSpec
+    nodes: Dict[str, RelAssert]
+    edges: Tuple[Edge, ...]
+    return_node: str
+    return_expr: Expr
+    guarantee: Optional[Guarantee] = None
+    #: nodes exempt from the stability VC (e.g. inside an atomic block).
+    unstable_nodes: Tuple[str, ...] = ()
+
+    def check(self, domain: StateDomain) -> OutlineReport:
+        report = OutlineReport()
+        for edge in self.edges:
+            if isinstance(edge, ExecEdge):
+                report.results.append(self._check_exec(edge, domain))
+            else:
+                report.results.append(self._check_guard(edge, domain))
+        for name in self.nodes:
+            if name not in self.unstable_nodes:
+                report.results.append(self._check_stability(name, domain))
+        report.results.append(self._check_return(domain))
+        return report
+
+    # -- individual VCs ------------------------------------------------------
+
+    def _check_exec(self, edge: ExecEdge, domain: StateDomain) -> VCResult:
+        pre = self.nodes[edge.src]
+        post = self.nodes[edge.dst]
+        label = edge.label or f"{edge.src} --[{edge.stmt}]--> {edge.dst}"
+        checked = 0
+        for state in domain.states:
+            if not pre.holds(state, self.tid):
+                continue
+            checked += 1
+            env = Env(locals=state.locals, sigma_c=Store(),
+                      sigma_o=state.sigma_o,
+                      extra=InstrCtx(state.delta, self.tid, self.spec))
+            try:
+                finals = run_block(edge.stmt, env,
+                                   handler=instrumented_handler)
+            except (AuxStuck, Fault, BoundExceeded) as exc:
+                return VCResult(f"atom: {label}", False, checked,
+                                f"stuck/faulting from {state}: {exc}")
+            for fin in finals:
+                nxt = ProofState(fin.locals, fin.sigma_o, fin.extra.delta)
+                if not post.holds(nxt, self.tid):
+                    return VCResult(
+                        f"atom: {label}", False, checked,
+                        f"postcondition fails: {state} -> {nxt}")
+                if self.guarantee is not None and not self.guarantee(
+                        (state.sigma_o, state.delta),
+                        (nxt.sigma_o, nxt.delta), self.tid):
+                    return VCResult(
+                        f"atom: {label}", False, checked,
+                        f"guarantee violated: {state} -> {nxt}")
+        return VCResult(f"atom: {label}", True, checked)
+
+    def _check_guard(self, edge: GuardEdge, domain: StateDomain) -> VCResult:
+        pre = self.nodes[edge.src]
+        post = self.nodes[edge.dst]
+        guard_str = edge.guard if edge.guard is not None else "true"
+        label = edge.label or f"{edge.src} --[{guard_str}]--> {edge.dst}"
+        checked = 0
+        for state in domain.states:
+            if not pre.holds(state, self.tid):
+                continue
+            if edge.guard is not None:
+                try:
+                    if not eval_bool_in(edge.guard,
+                                        Store({**dict(state.sigma_o),
+                                               **dict(state.locals),
+                                               "cid": self.tid})):
+                        continue
+                except EvalError:
+                    continue
+            checked += 1
+            if not post.holds(state, self.tid):
+                return VCResult(f"guard: {label}", False, checked,
+                                f"entailment fails at {state}")
+        return VCResult(f"guard: {label}", True, checked)
+
+    def _check_stability(self, name: str, domain: StateDomain) -> VCResult:
+        assertion = self.nodes[name]
+        checked = 0
+        for state in domain.states:
+            if not assertion.holds(state, self.tid):
+                continue
+            for nxt in domain.rely_successors(state):
+                checked += 1
+                if not assertion.holds(nxt, self.tid):
+                    return VCResult(
+                        f"stability: {name}", False, checked,
+                        f"R-step breaks the assertion: {state} -> {nxt}")
+        return VCResult(f"stability: {name}", True, checked)
+
+    def _check_return(self, domain: StateDomain) -> VCResult:
+        assertion = self.nodes[self.return_node]
+        checked = 0
+        for state in domain.states:
+            if not assertion.holds(state, self.tid):
+                continue
+            checked += 1
+            try:
+                value = eval_in(self.return_expr, state.locals,
+                                state.sigma_o)
+            except EvalError as exc:
+                return VCResult("return", False, checked, str(exc))
+            for pending, _theta in state.delta:
+                if pending.get(self.tid) != ("end", value):
+                    return VCResult(
+                        "return", False, checked,
+                        f"speculation {pending.get(self.tid)!r} disagrees "
+                        f"with return value {value} at {state}")
+        return VCResult("return", True, checked)

@@ -1,0 +1,9 @@
+"""Stores σ and heap allocation (Fig. 4)."""
+
+from .heap import HEAP_BASE, allocate, dispose, heap_cells, var_cells
+from .store import EMPTY_STORE, Store
+
+__all__ = [
+    "HEAP_BASE", "allocate", "dispose", "heap_cells", "var_cells",
+    "EMPTY_STORE", "Store",
+]

@@ -1,0 +1,64 @@
+"""Heap allocation over :class:`~repro.memory.store.Store`.
+
+Heap cells live at positive integer addresses inside the object memory
+σ_o.  Allocation is deterministic — the lowest block of consecutive free
+addresses — so that explored state spaces stay canonical (two executions
+performing the same allocations in the same order produce identical
+stores).
+
+Address ``0`` is ``null`` and is never allocated.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import SemanticsError
+from .store import Store
+
+#: First address the allocator may hand out.  Keeping a gap below leaves
+#: room for pre-allocated structures (sentinel nodes etc.) in algorithm
+#: initial memories.
+HEAP_BASE = 1
+
+
+def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE) -> Tuple[Store, int]:
+    """Allocate ``len(values)`` consecutive cells; return (store', address).
+
+    The block chosen is the lowest run of free addresses at or above
+    ``base``.
+    """
+
+    size = max(len(values), 1)
+    used = {k for k in store if isinstance(k, int)}
+    addr = base
+    while True:
+        if all((addr + i) not in used for i in range(size)):
+            break
+        addr += 1
+    new = store.set_many((addr + i, v) for i, v in enumerate(values))
+    if not values:
+        # A zero-field record still occupies one cell so the address is
+        # meaningful and disposable.
+        new = new.set(addr, 0)
+    return new, addr
+
+
+def dispose(store: Store, addr: int) -> Store:
+    """Free a single heap cell; raises on dangling frees."""
+
+    if not isinstance(addr, int) or addr <= 0 or addr not in store:
+        raise SemanticsError(f"dispose of unallocated address {addr!r}")
+    return store.remove(addr)
+
+
+def heap_cells(store: Store) -> Tuple[Tuple[int, int], ...]:
+    """All (address, value) heap bindings, sorted by address."""
+
+    return tuple(sorted((k, v) for k, v in store.items() if isinstance(k, int)))
+
+
+def var_cells(store: Store) -> Tuple[Tuple[str, int], ...]:
+    """All (variable, value) bindings, sorted by name."""
+
+    return tuple(sorted((k, v) for k, v in store.items() if isinstance(k, str)))

@@ -1,0 +1,55 @@
+"""Observable behaviours ``O[[W, (σ_c, σ_o)]]`` and ``O[[𝕎, (σ_c, θ)]]``.
+
+Both are prefix-closed sets of observable event traces (outputs and
+faults), extracted by bounded exploration.  Prefix closure makes bounded
+comparison sound: if a cut concrete trace has an observable prefix the
+abstract side cannot produce, the inclusion genuinely fails; conversely
+missing *extensions* beyond the bound are reported via ``bounded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from ..lang.ast import Stmt
+from ..lang.program import ObjectImpl, Program
+from ..semantics.abstract import AbstractProgram, explore_abstract
+from ..semantics.events import Trace
+from ..semantics.scheduler import Limits, explore
+from ..spec.gamma import OSpec
+
+
+@dataclass
+class ObservedBehaviour:
+    """The observable-trace set of one program side."""
+
+    traces: Set[Trace]
+    aborted: bool
+    bounded: bool
+    nodes: int
+
+
+def concrete_observables(impl: ObjectImpl, clients: Tuple[Stmt, ...],
+                         limits: Optional[Limits] = None,
+                         client_memory: Tuple[Tuple[str, int], ...] = (),
+                         private_client_vars: bool = False) -> ObservedBehaviour:
+    """``O[[let Π in C1 ∥ ... ∥ Cn]]`` up to the exploration bound."""
+
+    program = Program(impl, clients, client_memory, private_client_vars)
+    result = explore(program, limits)
+    return ObservedBehaviour(result.observables, result.aborted,
+                             result.bounded, result.nodes)
+
+
+def abstract_observables(spec: OSpec, clients: Tuple[Stmt, ...],
+                         limits: Optional[Limits] = None,
+                         client_memory: Tuple[Tuple[str, int], ...] = (),
+                         private_client_vars: bool = False) -> ObservedBehaviour:
+    """``O[[with Γ do C1 ∥ ... ∥ Cn]]`` up to the exploration bound."""
+
+    program = AbstractProgram(spec, clients, client_memory,
+                              private_client_vars)
+    result = explore_abstract(program, limits)
+    return ObservedBehaviour(result.observables, result.aborted,
+                             result.bounded, result.nodes)

@@ -1,0 +1,60 @@
+"""Operational semantics: events, thread-local steps, exploration (Fig. 5)."""
+
+from .abstract import (
+    AbsConfig,
+    AbsExplorationResult,
+    AbstractExplorer,
+    AbstractProgram,
+    explore_abstract,
+)
+from .events import (
+    CltAbortEvent,
+    Event,
+    InvokeEvent,
+    ObjAbortEvent,
+    OutputEvent,
+    ReturnEvent,
+    Trace,
+    format_trace,
+    history_of,
+    observable_of,
+    thread_sub,
+)
+from .mgc import (
+    fixed_client,
+    mgc_program,
+    most_general_client,
+    printing_client,
+)
+from .scheduler import (
+    Config,
+    ExplorationResult,
+    Explorer,
+    Limits,
+    explore,
+    initial_config,
+)
+from .thread import (
+    Env,
+    Frame,
+    StepOutcome,
+    ThreadState,
+    expand_until_visible,
+    initial_thread,
+    push_control,
+    run_block,
+    thread_step,
+)
+
+__all__ = [
+    "AbsConfig", "AbsExplorationResult", "AbstractExplorer",
+    "AbstractProgram", "explore_abstract",
+    "CltAbortEvent", "Event", "InvokeEvent", "ObjAbortEvent", "OutputEvent",
+    "ReturnEvent", "Trace", "format_trace", "history_of", "observable_of",
+    "thread_sub",
+    "fixed_client", "mgc_program", "most_general_client", "printing_client",
+    "Config", "ExplorationResult", "Explorer", "Limits", "explore",
+    "initial_config",
+    "Env", "Frame", "StepOutcome", "ThreadState", "expand_until_visible",
+    "initial_thread", "push_control", "run_block", "thread_step",
+]

@@ -1,0 +1,87 @@
+"""Expression evaluation.
+
+Evaluation is total over bound variables; unbound variables, division by
+zero and other runtime errors raise :class:`~repro.errors.EvalError`,
+which the operational semantics converts into an *abort* event for the
+executing thread (the paper's ``(t, obj, abort)`` / ``(t, clt, abort)``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import EvalError
+from ..lang.ast import (
+    ARITH_OPS,
+    And,
+    BConst,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    CMP_OPS,
+    Const,
+    Expr,
+    Not,
+    Or,
+    UnOp,
+    Var,
+)
+from ..memory.store import Store
+
+Lookup = Callable[[str], int]
+
+
+def eval_expr(expr: Expr, lookup: Lookup) -> int:
+    """Evaluate ``E`` under a variable-lookup function."""
+
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return lookup(expr.name)
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, lookup)
+        right = eval_expr(expr.right, lookup)
+        if expr.op in ("/", "%") and right == 0:
+            raise EvalError(f"division by zero in {expr}")
+        return ARITH_OPS[expr.op](left, right)
+    if isinstance(expr, UnOp):
+        return -eval_expr(expr.operand, lookup)
+    raise EvalError(f"cannot evaluate expression {expr!r}")
+
+
+def eval_bool(bexpr: BoolExpr, lookup: Lookup) -> bool:
+    """Evaluate ``B`` under a variable-lookup function."""
+
+    if isinstance(bexpr, BConst):
+        return bexpr.value
+    if isinstance(bexpr, Cmp):
+        left = eval_expr(bexpr.left, lookup)
+        right = eval_expr(bexpr.right, lookup)
+        return CMP_OPS[bexpr.op](left, right)
+    if isinstance(bexpr, Not):
+        return not eval_bool(bexpr.operand, lookup)
+    if isinstance(bexpr, And):
+        return eval_bool(bexpr.left, lookup) and eval_bool(bexpr.right, lookup)
+    if isinstance(bexpr, Or):
+        return eval_bool(bexpr.left, lookup) or eval_bool(bexpr.right, lookup)
+    raise EvalError(f"cannot evaluate boolean expression {bexpr!r}")
+
+
+def lookup_in(*stores: Optional[Store]) -> Lookup:
+    """Variable lookup chaining stores left-to-right (σ_l before σ_o)."""
+
+    def look(name: str) -> int:
+        for store in stores:
+            if store is not None and name in store:
+                return store[name]
+        raise EvalError(f"unbound variable {name!r}")
+
+    return look
+
+
+def eval_in(expr: Expr, *stores: Optional[Store]) -> int:
+    return eval_expr(expr, lookup_in(*stores))
+
+
+def eval_bool_in(bexpr: BoolExpr, *stores: Optional[Store]) -> bool:
+    return eval_bool(bexpr, lookup_in(*stores))

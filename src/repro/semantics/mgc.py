@@ -1,0 +1,95 @@
+"""Most-general clients.
+
+Definition 2 quantifies over *all* client programs ``C1 ∥ ... ∥ Cn``.  For
+bounded checking we use most-general clients: each thread performs a fixed
+number of nondeterministically chosen method calls from a finite menu of
+``(method, argument)`` pairs.  Every history of every client with the same
+call menu and call count is a history of the most-general client, so
+checking the MGC covers them all.
+
+The generated clients use thread-disjoint variable names, zero their
+selector variables after dispatch, and discard return values they never
+read, so the explorer can compress client bookkeeping steps and merge
+states that differ only in dead client data (see
+:func:`~repro.semantics.thread.expand_until_visible`).
+
+:func:`printing_client` additionally prints each return value, turning
+object behaviour into *observable* behaviour — the workload for contextual
+refinement (Def. 3) experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..lang.ast import Call, Const, Print, Skip, Stmt, Var, seq
+from ..lang.builders import assign, eq, if_, nondet
+from ..lang.program import ObjectImpl, Program
+
+CallMenu = Sequence[Tuple[str, int]]
+
+
+def _one_call(menu: CallMenu, selector: str, retvar: str) -> Stmt:
+    """``selector`` picks which call of the menu to perform."""
+
+    stmt: Stmt = Skip()
+    for i in reversed(range(len(menu))):
+        method, arg = menu[i]
+        stmt = if_(eq(Var(selector), i),
+                   Call(retvar, method, Const(arg)),
+                   stmt)
+    return stmt
+
+
+def most_general_client(menu: CallMenu, ops: int, prefix: str = "t",
+                        print_results: bool = False) -> Stmt:
+    """A client performing ``ops`` nondeterministic calls from ``menu``.
+
+    All client variables are namespaced by ``prefix`` so that parallel
+    most-general clients with distinct prefixes touch disjoint variables.
+    """
+
+    if not menu:
+        return Skip()
+    sel = f"{prefix}_c"
+    blocks = []
+    for k in range(ops):
+        rv = f"{prefix}_r{k}" if print_results else ""
+        blocks.append(nondet(sel, *range(len(menu))))
+        blocks.append(_one_call(menu, sel, rv))
+        blocks.append(assign(sel, 0))  # dead store: lets states merge
+        if print_results:
+            blocks.append(Print(Var(rv)))
+    return seq(*blocks)
+
+
+def printing_client(menu: CallMenu, ops: int, prefix: str = "t") -> Stmt:
+    """A most-general client that prints every return value."""
+
+    return most_general_client(menu, ops, prefix, print_results=True)
+
+
+def fixed_client(calls: Sequence[Tuple[str, int]], prefix: str = "t",
+                 print_results: bool = False) -> Stmt:
+    """A client performing a fixed sequence of calls (no nondeterminism)."""
+
+    blocks = []
+    for k, (method, arg) in enumerate(calls):
+        rv = f"{prefix}_r{k}" if print_results else ""
+        blocks.append(Call(rv, method, Const(arg)))
+        if print_results:
+            blocks.append(Print(Var(rv)))
+    return seq(*blocks)
+
+
+def mgc_program(impl: ObjectImpl, menu: CallMenu, threads: int = 2,
+                ops_per_thread: int = 2,
+                print_results: bool = False) -> Program:
+    """The standard verification workload: ``threads`` most-general clients."""
+
+    clients = tuple(
+        most_general_client(menu, ops_per_thread, prefix=f"t{t}",
+                            print_results=print_results)
+        for t in range(1, threads + 1)
+    )
+    return Program(impl, clients, private_client_vars=True)

@@ -1,0 +1,191 @@
+"""Interleaving exploration of whole programs (the ``⊢→`` transitions).
+
+:class:`Explorer` enumerates all interleavings of a :class:`Program` up to
+configurable :class:`Limits`, collecting
+
+* the prefix-closed set of *histories* (object-event traces, Sec. 3.2) —
+  the input to linearizability checking, ``H[[W, (σ_c, σ_o)]]``;
+* the prefix-closed set of *observable traces* (Sec. 3.3),
+  ``O[[W, (σ_c, σ_o)]]``;
+* whether any execution aborted, and whether exploration was cut by a
+  bound (``bounded``) — bounded results are sound for "no violation found
+  up to the bound" claims, which is how every bench reports them.
+
+Search nodes are deduplicated on (configuration, history, observable
+trace): the future behaviour of a node depends only on its configuration,
+so expanding each such node once is complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..errors import BoundExceeded
+from ..lang.program import ObjectImpl, Program
+from ..memory.store import Store
+from .events import Event, Trace, history_of, observable_of
+from .thread import (
+    ThreadState,
+    expand_until_visible,
+    initial_thread,
+    thread_step,
+)
+
+
+@dataclass(frozen=True)
+class Config:
+    """A whole-machine configuration ``(σ_c, σ_o, K)`` plus thread code."""
+
+    threads: Tuple[ThreadState, ...]
+    sigma_c: Store
+    sigma_o: Store
+
+    @property
+    def quiescent(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Exploration bounds.
+
+    ``max_depth`` caps the number of transitions along any path;
+    ``max_nodes`` caps the total number of expanded search nodes.
+    """
+
+    max_depth: int = 400
+    max_nodes: int = 200_000
+
+
+@dataclass
+class ExplorationResult:
+    histories: Set[Trace] = field(default_factory=set)
+    observables: Set[Trace] = field(default_factory=set)
+    aborted: bool = False
+    bounded: bool = False
+    nodes: int = 0
+    terminal_configs: Set[Config] = field(default_factory=set)
+
+    def add_prefixes(self, trace: Trace) -> None:
+        """Record all prefixes of an observable trace (prefix closure)."""
+        for i in range(len(trace) + 1):
+            self.observables.add(trace[:i])
+
+
+def initial_config(program: Program) -> Config:
+    sigma_c = Store(dict(program.initial_client_memory))
+    sigma_o = Store(program.object_impl.initial_memory)
+    threads = tuple(initial_thread(c) for c in program.clients)
+    return Config(threads, sigma_c, sigma_o)
+
+
+class Explorer:
+    """Exhaustive bounded interleaving exploration of a program."""
+
+    def __init__(self, program: Program, limits: Optional[Limits] = None):
+        self.program = program
+        self.impl: ObjectImpl = program.object_impl
+        self.limits = limits or Limits()
+        self.private_client_vars = program.private_client_vars
+
+    def initial_nodes(self) -> List[Config]:
+        """Initial configurations, with invisible steps pre-executed."""
+
+        start = initial_config(self.program)
+        configs = [start]
+        for idx in range(len(start.threads)):
+            nxt: List[Config] = []
+            for config in configs:
+                expanded = expand_until_visible(
+                    config.threads[idx], config.sigma_c, config.sigma_o,
+                    self.private_client_vars)
+                for ts, sc in expanded:
+                    threads = (config.threads[:idx] + (ts,)
+                               + config.threads[idx + 1:])
+                    nxt.append(Config(threads, sc, config.sigma_o))
+            configs = nxt
+        return configs
+
+    def run(self) -> ExplorationResult:
+        result = ExplorationResult()
+        limits = self.limits
+        # Node = (config, history, observable); depth tracked separately so
+        # revisits through shorter paths don't defeat deduplication.
+        seen: Set[Tuple[Config, Trace, Trace]] = set()
+        stack: List[Tuple[Config, Trace, Trace, int]] = []
+        for start in self.initial_nodes():
+            if (start, (), ()) not in seen:
+                seen.add((start, (), ()))
+                stack.append((start, (), (), 0))
+        result.histories.add(())
+        result.observables.add(())
+
+        while stack:
+            config, hist, obs, depth = stack.pop()
+            result.nodes += 1
+            if result.nodes > limits.max_nodes:
+                result.bounded = True
+                break
+            successors = self._expand(config)
+            if not successors:
+                # Quiescent or deadlocked: record the terminal trace.
+                result.add_prefixes(obs)
+                result.terminal_configs.add(config)
+                continue
+            if depth >= limits.max_depth:
+                result.bounded = True
+                result.add_prefixes(obs)
+                continue
+            for next_config, event in successors:
+                new_hist = hist
+                new_obs = obs
+                if event is not None:
+                    if event.is_object_event:
+                        new_hist = hist + (event,)
+                        result.histories.add(new_hist)
+                    if event.is_observable:
+                        new_obs = obs + (event,)
+                        result.add_prefixes(new_obs)
+                if next_config is None:
+                    # Aborted execution: trace ends here.
+                    result.aborted = True
+                    continue
+                key = (next_config, new_hist, new_obs)
+                if key in seen:
+                    continue
+                seen.add(key)
+                stack.append((next_config, new_hist, new_obs, depth + 1))
+        return result
+
+    def _expand(self, config: Config) -> List[Tuple[Optional[Config], Optional[Event]]]:
+        out: List[Tuple[Optional[Config], Optional[Event]]] = []
+        for idx, tstate in enumerate(config.threads):
+            tid = idx + 1
+            try:
+                outcomes = thread_step(tstate, tid, config.sigma_c,
+                                       config.sigma_o, self.impl)
+            except BoundExceeded:
+                # Divergent atomic block: treat as a cut, not a crash.
+                continue
+            for outcome in outcomes:
+                if outcome.aborted:
+                    out.append((None, outcome.event))
+                    continue
+                expanded = expand_until_visible(
+                    outcome.thread_state, outcome.sigma_c, outcome.sigma_o,
+                    self.private_client_vars)
+                for ts, sc in expanded:
+                    threads = (config.threads[:idx] + (ts,)
+                               + config.threads[idx + 1:])
+                    out.append((
+                        Config(threads, sc, outcome.sigma_o),
+                        outcome.event,
+                    ))
+        return out
+
+
+def explore(program: Program, limits: Optional[Limits] = None) -> ExplorationResult:
+    """Convenience wrapper: explore ``program`` and return the result."""
+
+    return Explorer(program, limits).run()

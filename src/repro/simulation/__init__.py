@@ -1,0 +1,14 @@
+"""The Def. 5 simulation and its composition (Sec. 5, Fig. 2)."""
+
+from .compose import (
+    ComposedSimulationReport,
+    check_rely_respects_guarantee,
+    simulate_all_methods,
+)
+from .method_sim import MethodSimulation, Rely, SimulationResult
+
+__all__ = [
+    "ComposedSimulationReport", "check_rely_respects_guarantee",
+    "simulate_all_methods",
+    "MethodSimulation", "Rely", "SimulationResult",
+]

@@ -1,0 +1,100 @@
+"""Composition of per-method simulations (Lemma 6, instance-checked).
+
+Lemma 6 turns per-method simulations into contextual refinement, under
+the rely-guarantee side conditions ``R_t = ∨_{t'≠t} G_{t'}`` and the
+fencing of ``p`` by ``I``.  We check the composition *empirically* for an
+:class:`~repro.algorithms.base.Algorithm`:
+
+* every method simulates its γ (:func:`simulate_all_methods`), with the
+  rely built from the other threads' guarantee actions;
+* the side condition "every rely step is some other thread's guarantee
+  step" holds by construction (:func:`rely_from_guarantee` samples rely
+  transitions and checks them against ``G``);
+* the conclusion ``Π ⊑_φ Γ`` is then independently confirmed by the
+  bounded Definition-3 check, closing the Lemma-6 loop on this instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..algorithms.base import Algorithm
+from ..instrument.state import Delta
+from ..memory.store import Store
+from ..refinement.contextual import RefinementResult, check_contextual_refinement
+from ..semantics.scheduler import Limits
+from .method_sim import MethodSimulation, Rely, SimulationResult
+
+
+@dataclass
+class ComposedSimulationReport:
+    per_method: Dict[str, SimulationResult]
+    rely_respects_guarantee: bool
+    refinement: Optional[RefinementResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return (all(r.ok for r in self.per_method.values())
+                and self.rely_respects_guarantee
+                and (self.refinement is None or self.refinement.ok))
+
+    def summary(self) -> str:
+        lines = []
+        for name, res in sorted(self.per_method.items()):
+            lines.append(f"  {name}: {res.summary()}")
+        lines.append(f"  rely ⊆ guarantee: "
+                     f"{'ok' if self.rely_respects_guarantee else 'FAILED'}")
+        if self.refinement is not None:
+            lines.append(f"  refinement: {self.refinement.summary()}")
+        return "\n".join(lines)
+
+
+def check_rely_respects_guarantee(alg: Algorithm, rely: Rely,
+                                  samples: Iterable[Tuple[Store, Delta]]
+                                  ) -> bool:
+    """Sample the ``R_t = ∨ G_{t'}`` side condition of Lemma 6."""
+
+    if alg.guarantee is None:
+        return True
+    env_tid = 99  # an arbitrary "other" thread
+    for sigma_o, delta in samples:
+        for sigma2, delta2 in rely(sigma_o, delta):
+            if not alg.guarantee((sigma_o, delta), (sigma2, delta2),
+                                 env_tid):
+                return False
+    return True
+
+
+def simulate_all_methods(alg: Algorithm,
+                         args: Dict[str, int],
+                         initial_shared: Tuple[Tuple[Store, Delta], ...],
+                         rely: Rely,
+                         tid: int = 1,
+                         limits: Optional[Limits] = None,
+                         check_refinement: bool = True
+                         ) -> ComposedSimulationReport:
+    """Check Def. 5 for each method of ``alg`` and the Lemma-6 glue."""
+
+    per_method = {}
+    for name, arg in args.items():
+        sim = MethodSimulation(
+            method=alg.instrumented.methods[name],
+            spec=alg.spec,
+            tid=tid,
+            arg=arg,
+            initial_shared=initial_shared,
+            rely=rely,
+            guarantee=alg.guarantee,
+            limits=limits or Limits(6000, 1_000_000),
+        )
+        per_method[name] = sim.check()
+    rely_ok = check_rely_respects_guarantee(alg, rely, initial_shared)
+    refinement = None
+    if check_refinement:
+        refinement = check_contextual_refinement(
+            alg.impl, alg.spec, alg.workload.menu,
+            threads=alg.workload.threads,
+            ops_per_thread=min(alg.workload.ops_per_thread, 1),
+            limits=limits, phi=alg.phi)
+    return ComposedSimulationReport(per_method, rely_ok, refinement)

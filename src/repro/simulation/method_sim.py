@@ -1,0 +1,258 @@
+"""The thread-local forward-backward simulation of Definition 5.
+
+``(x, C) ≼^t_{R;G;p} γ`` relates one method's concrete executions to
+speculative executions of Δ.  The checker explores the game graph whose
+nodes are ``(concrete control, σ_l, σ_o, Δ)``:
+
+1. **concrete steps** — every thread step must be safe (no fault), must
+   come with a Δ-transition ``Δ ⇛ Δ'`` (here produced constructively by
+   the instrumentation — the Lemma 7 direction: a logic proof *is* a
+   simulation strategy), and must satisfy ``G * True``;
+2. **environment steps** — the node set is closed under ``R * Id``:
+   ``rely`` successors change only the shared ``(σ_o, Δ)``;
+3. **return** — ``t ↣ (end, n)`` holds in *every* remaining speculation
+   with ``n`` the concrete return value.
+
+The three Fig. 2 diagrams correspond to which Δ-transitions the strategy
+uses: (a) only ``linself`` of the verified thread (fixed LP); (b) ``lin``
+of *other* threads (helping); (c) ``trylin`` + ``commit`` branches
+(speculation).  The checker records which kinds occurred so the E3 bench
+can report the diagram shape it witnessed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Set, Tuple
+
+from ..errors import BoundExceeded, EvalError
+from ..instrument.commands import Commit, Lin, LinSelf, TryLin, TryLinReadOnly, TryLinSelf
+from ..instrument.runner import Guarantee, InstrumentedMethod
+from ..instrument.semantics import AuxStuck, InstrCtx, instrumented_handler
+from ..instrument.state import Delta, end_of, op_of
+from ..lang.ast import Atomic, If, Noret, Return, Seq, Stmt, While
+from ..memory.store import Store
+from ..semantics.eval import eval_bool_in, eval_in
+from ..semantics.scheduler import Limits
+from ..semantics.thread import (
+    Env,
+    Fault,
+    Frame,
+    ThreadState,
+    expand_until_visible,
+    push_control,
+)
+from ..spec.gamma import OSpec
+
+#: ``rely(σ_o, Δ) -> iterable of (σ_o', Δ')`` — the ``R * Id`` steps.
+Rely = Callable[[Store, Delta], Iterable[Tuple[Store, Delta]]]
+
+_NORET = Noret()
+_EMPTY = Store()
+
+
+@dataclass
+class SimulationResult:
+    ok: bool = True
+    nodes: int = 0
+    bounded: bool = False
+    returns_checked: int = 0
+    failure: str = ""
+    #: which Δ-transition kinds the strategy used (Fig. 2 diagram shape).
+    used_lin_self: bool = False
+    used_lin_other: bool = False
+    used_speculation: bool = False
+
+    def diagram(self) -> str:
+        if self.used_speculation:
+            return "Fig. 2(c): forward-backward simulation (speculation)"
+        if self.used_lin_other:
+            return "Fig. 2(b): simulation with the pending thread pool"
+        return "Fig. 2(a): simple weak simulation (fixed LP)"
+
+    def summary(self) -> str:
+        status = "SIMULATES" if self.ok else "SIMULATION FAILS"
+        extra = " (bounded)" if self.bounded else ""
+        msg = (f"{status}{extra}: {self.nodes} game states, "
+               f"{self.returns_checked} return checks — {self.diagram()}")
+        if self.failure:
+            msg += f"; failure: {self.failure}"
+        return msg
+
+
+@dataclass
+class MethodSimulation:
+    """One instance of Definition 5 to check."""
+
+    method: InstrumentedMethod
+    spec: OSpec
+    tid: int
+    arg: int
+    #: initial shared states satisfying ``p`` (Δ *without* the thread's
+    #: own operation, which the checker registers itself).
+    initial_shared: Tuple[Tuple[Store, Delta], ...]
+    rely: Rely = lambda sigma_o, delta: ()
+    guarantee: Optional[Guarantee] = None
+    limits: Limits = field(default_factory=lambda: Limits(6000, 1_000_000))
+
+    def check(self) -> SimulationResult:
+        result = SimulationResult()
+        mdef = self.method
+        locals_init = Store({mdef.param: self.arg, "cid": self.tid,
+                             **{v: 0 for v in mdef.locals}})
+        seen: Set[Tuple[ThreadState, Store, Delta]] = set()
+        stack: List[Tuple[ThreadState, Store, Delta]] = []
+
+        from ..instrument.state import delta_add_thread
+
+        for sigma_o, delta0 in self.initial_shared:
+            delta = delta_add_thread(delta0, self.tid,
+                                     op_of(mdef.name, self.arg))
+            start = ThreadState(push_control(mdef.body, (_NORET,)),
+                                Frame(locals_init, "", (), mdef.name))
+            for ts, _sc in expand_until_visible(start, _EMPTY, sigma_o):
+                node = (ts, sigma_o, delta)
+                if node not in seen:
+                    seen.add(node)
+                    stack.append(node)
+
+        while stack:
+            node = stack.pop()
+            result.nodes += 1
+            if result.nodes > self.limits.max_nodes:
+                result.bounded = True
+                break
+            tstate, sigma_o, delta = node
+
+            # Condition 2: closure under R * Id.
+            for sigma2, delta2 in self.rely(sigma_o, delta):
+                nxt = (tstate, sigma2, delta2)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+
+            if not tstate.control:
+                continue
+            ok = self._expand_self(node, seen, stack, result)
+            if not ok:
+                result.ok = False
+                return result
+        result.ok = True
+        return result
+
+    # -- one concrete step of the verified thread ---------------------------
+
+    def _expand_self(self, node, seen, stack, result) -> bool:
+        tstate, sigma_o, delta = node
+        stmt = tstate.control[0]
+        rest = tstate.control[1:]
+        frame = tstate.frame
+
+        if isinstance(stmt, Seq):
+            return self._push(ThreadState(push_control(stmt, rest), frame),
+                              sigma_o, delta, seen, stack)
+        if isinstance(stmt, Return):
+            # Condition 3 of Def. 5.
+            result.returns_checked += 1
+            try:
+                value = eval_in(stmt.expr, frame.locals, sigma_o)
+            except EvalError as exc:
+                result.failure = f"return faults: {exc}"
+                return False
+            bad = [p for p in delta if p[0].get(self.tid) != end_of(value)]
+            if bad:
+                result.failure = (
+                    f"return {value}: speculation records "
+                    f"{bad[0][0].get(self.tid)!r}")
+                return False
+            return True
+        if isinstance(stmt, Noret):
+            result.failure = "method fell off the end (noret)"
+            return False
+        if isinstance(stmt, (If, While)):
+            try:
+                taken = eval_bool_in(stmt.cond, frame.locals, sigma_o)
+            except EvalError as exc:
+                result.failure = f"condition faults: {exc}"
+                return False
+            if isinstance(stmt, If):
+                control = push_control(stmt.then if taken else stmt.els,
+                                       rest)
+            elif taken:
+                control = push_control(stmt.body, (stmt,) + rest)
+            else:
+                control = rest
+            return self._push(ThreadState(control, frame), sigma_o, delta,
+                              seen, stack)
+
+        _record_aux_kinds(stmt, result)
+        body = stmt.body if isinstance(stmt, Atomic) else stmt
+        env = Env(locals=frame.locals, sigma_c=_EMPTY, sigma_o=sigma_o,
+                  extra=InstrCtx(delta, self.tid, self.spec))
+        try:
+            finals = run_block_instrumented(body, env)
+        except AuxStuck as exc:
+            result.failure = f"Δ-transition stuck: {exc}"
+            return False
+        except Fault as exc:
+            result.failure = f"concrete step faults: {exc} (Def.5 1(b))"
+            return False
+        except BoundExceeded as exc:
+            result.failure = str(exc)
+            return False
+        for fin in finals:
+            if self.guarantee is not None and not self.guarantee(
+                    (sigma_o, delta), (fin.sigma_o, fin.extra.delta),
+                    self.tid):
+                result.failure = (
+                    f"guarantee violated at {stmt}")
+                return False
+            frame2 = Frame(fin.locals, frame.retvar, frame.caller_control,
+                           frame.method)
+            if not self._push(ThreadState(rest, frame2), fin.sigma_o,
+                              fin.extra.delta, seen, stack):
+                return False
+        return True
+
+    def _push(self, tstate, sigma_o, delta, seen, stack) -> bool:
+        for ts, _sc in expand_until_visible(tstate, _EMPTY, sigma_o):
+            node = (ts, sigma_o, delta)
+            if node not in seen:
+                seen.add(node)
+                stack.append(node)
+        return True
+
+
+def run_block_instrumented(stmt: Stmt, env: Env):
+    from ..semantics.thread import run_block
+
+    return run_block(stmt, env, handler=instrumented_handler)
+
+
+def _record_aux_kinds(stmt: Stmt, result: SimulationResult) -> None:
+    from ..lang.ast import Var
+
+    if isinstance(stmt, LinSelf):
+        result.used_lin_self = True
+    elif isinstance(stmt, Lin):
+        if stmt.tid == Var("cid"):
+            result.used_lin_self = True
+        else:
+            result.used_lin_other = True
+    elif isinstance(stmt, (TryLinSelf, TryLin, TryLinReadOnly, Commit)):
+        result.used_speculation = True
+    elif isinstance(stmt, Atomic):
+        _record_aux_kinds_deep(stmt.body, result)
+
+
+def _record_aux_kinds_deep(stmt: Stmt, result: SimulationResult) -> None:
+    if isinstance(stmt, Seq):
+        for s in stmt.stmts:
+            _record_aux_kinds_deep(s, result)
+    elif isinstance(stmt, If):
+        _record_aux_kinds_deep(stmt.then, result)
+        _record_aux_kinds_deep(stmt.els, result)
+    elif isinstance(stmt, While):
+        _record_aux_kinds_deep(stmt.body, result)
+    else:
+        _record_aux_kinds(stmt, result)

@@ -1,0 +1,7 @@
+"""Object specifications Γ, abstract objects θ, refinement mappings φ."""
+
+from .absobj import AbsObj, abs_obj
+from .gamma import MethodSpec, OSpec, deterministic
+from .refmap import RefMap
+
+__all__ = ["AbsObj", "abs_obj", "MethodSpec", "OSpec", "deterministic", "RefMap"]

@@ -1,0 +1,32 @@
+"""Abstract objects θ (Fig. 6: ``(AbsObj) θ ∈ PVar → AbsVal``).
+
+An abstract object maps abstract program variables to abstract values.
+Abstract values are arbitrary *hashable* Python values (the paper leaves
+``AbsVal`` unspecified, to be instantiated by programmers): tuples model
+the paper's value sequences (``Stk := v::Stk``), frozensets model sets,
+plain ints model scalars.
+
+We reuse :class:`~repro.memory.store.Store` as the mapping, which already
+provides persistence, hashing and the disjoint-union ``⊎`` needed by the
+assertion semantics (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from ..memory.store import Store
+
+AbsObj = Store
+
+
+def abs_obj(mapping: Union[Mapping, None] = None, **kwargs) -> AbsObj:
+    """Build an abstract object from keyword bindings.
+
+    >>> abs_obj(Stk=())
+    Store({'Stk': ()})
+    """
+
+    data = dict(mapping or {})
+    data.update(kwargs)
+    return Store(data)

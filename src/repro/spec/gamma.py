@@ -1,0 +1,89 @@
+"""Object specifications (Fig. 6).
+
+A method specification ``γ ∈ Int → AbsObj → Int × AbsObj`` transforms an
+argument value and an abstract object into a return value and resulting
+abstract object *in a single step*.  We generalise to (finitely)
+nondeterministic specifications: ``apply`` returns an iterable of
+``(return value, θ')`` pairs; a *blocked* specification (empty iterable)
+has no legal behaviour for that input, which makes illegal abstract calls
+detectable.
+
+An object specification ``Γ`` maps method names to their γ's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Tuple
+
+from ..errors import SpecError
+from .absobj import AbsObj
+
+GammaFunc = Callable[[int, AbsObj], Iterable[Tuple[int, AbsObj]]]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One abstract atomic operation γ."""
+
+    name: str
+    apply: GammaFunc
+
+    def results(self, arg: int, theta: AbsObj) -> Tuple[Tuple[int, AbsObj], ...]:
+        """All ``(ret, θ')`` outcomes of executing γ(arg) on θ."""
+
+        out = tuple(self.apply(arg, theta))
+        for ret, theta2 in out:
+            if not isinstance(ret, int):
+                raise SpecError(
+                    f"spec {self.name}: return value {ret!r} is not an int")
+        return out
+
+    def __repr__(self) -> str:
+        return f"MethodSpec({self.name!r})"
+
+
+class OSpec:
+    """An object specification Γ with its initial abstract object."""
+
+    def __init__(self, methods: Mapping[str, MethodSpec],
+                 initial: AbsObj, name: str = "spec"):
+        self.name = name
+        self.methods: Dict[str, MethodSpec] = dict(methods)
+        self.initial = initial
+        for mname, spec in self.methods.items():
+            if mname != spec.name:
+                raise SpecError(
+                    f"spec registered as {mname!r} but declares {spec.name!r}")
+
+    def method(self, name: str) -> MethodSpec:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise SpecError(f"Γ {self.name!r} has no method {name!r}")
+
+    def method_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.methods))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.methods
+
+    def __repr__(self) -> str:
+        return f"OSpec({self.name!r}, methods={sorted(self.methods)})"
+
+
+def deterministic(name: str,
+                  func: Callable[[int, AbsObj], Tuple[int, AbsObj]]) -> MethodSpec:
+    """Wrap a deterministic ``(arg, θ) -> (ret, θ')`` function as a spec.
+
+    The function may return ``None`` to indicate the operation is blocked
+    (has no legal behaviour) in that abstract state.
+    """
+
+    def apply(arg: int, theta: AbsObj) -> Iterable[Tuple[int, AbsObj]]:
+        out = func(arg, theta)
+        if out is None:
+            return ()
+        return (out,)
+
+    return MethodSpec(name, apply)

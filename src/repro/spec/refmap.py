@@ -1,0 +1,31 @@
+"""Refinement mappings φ (Sec. 3.2: ``(RefMap) φ ∈ Mem → AbsObj``).
+
+``φ`` relates a concrete object memory σ_o to the abstract object θ it
+represents.  It is partial: σ_o's that are not well-formed data structures
+have no image, signalled by returning ``None`` (Definition 2's side
+condition ``φ(σ_o) = θ`` then fails).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..memory.store import Store
+from .absobj import AbsObj
+
+
+@dataclass(frozen=True)
+class RefMap:
+    """A named refinement mapping."""
+
+    name: str
+    func: Callable[[Store], Optional[AbsObj]]
+
+    def of(self, sigma_o: Store) -> Optional[AbsObj]:
+        """``φ(σ_o)``, or ``None`` when σ_o is not well-formed."""
+
+        return self.func(sigma_o)
+
+    def __repr__(self) -> str:
+        return f"RefMap({self.name!r})"

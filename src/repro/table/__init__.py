@@ -1,0 +1,15 @@
+"""Regeneration of the paper's Table 1."""
+
+from .table1 import (
+    PAPER_TABLE1,
+    Table1Row,
+    build_table1,
+    check_feature_matrix,
+    render_table1,
+    verify_row,
+)
+
+__all__ = [
+    "PAPER_TABLE1", "Table1Row", "build_table1", "check_feature_matrix",
+    "render_table1", "verify_row",
+]

@@ -1,0 +1,129 @@
+"""Regenerate Table 1: "Verified Algorithms Using Our Logic".
+
+The paper's evaluation is the table of 12 algorithms with their feature
+flags (Helping, future-dependent LPs, java.util.concurrent, HS-book).
+:func:`build_table1` reruns the verification pipeline for each row and
+reports the paper's flags side by side with the mechanical outcome.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..algorithms.base import VerificationReport
+from ..algorithms.registry import algorithm_names, get_algorithm
+from ..semantics.scheduler import Limits
+
+
+@dataclass
+class Table1Row:
+    name: str
+    display_name: str
+    helping: bool
+    future_lp: bool
+    java_pkg: bool
+    hs_book: bool
+    verified: bool
+    report: Optional[VerificationReport]
+    seconds: float
+    workload: str
+
+    @staticmethod
+    def _tick(flag: bool) -> str:
+        return "Y" if flag else ""
+
+
+def verify_row(name: str, limits: Optional[Limits] = None) -> Table1Row:
+    alg = get_algorithm(name)
+    start = time.perf_counter()
+    report = alg.verify(limits=limits)
+    elapsed = time.perf_counter() - start
+    return Table1Row(
+        name=alg.name,
+        display_name=alg.display_name,
+        helping=alg.helping,
+        future_lp=alg.future_lp,
+        java_pkg=alg.java_pkg,
+        hs_book=alg.hs_book,
+        verified=report.ok,
+        report=report,
+        seconds=elapsed,
+        workload=alg.workload.describe(),
+    )
+
+
+def build_table1(names: Optional[Sequence[str]] = None,
+                 limits: Optional[Limits] = None) -> List[Table1Row]:
+    return [verify_row(name, limits) for name in
+            (names or algorithm_names())]
+
+
+def render_table1(rows: Sequence[Table1Row], timings: bool = True) -> str:
+    """Plain-text rendering in the paper's layout."""
+
+    tick = Table1Row._tick
+    header = ["Objects", "Helping", "Fut. LP", "Java Pkg", "HS Book",
+              "Verified"]
+    if timings:
+        header.append("Time (s)")
+    body = []
+    for row in rows:
+        line = [row.display_name, tick(row.helping), tick(row.future_lp),
+                tick(row.java_pkg), tick(row.hs_book),
+                "Y" if row.verified else "FAILED"]
+        if timings:
+            line.append(f"{row.seconds:.1f}")
+        body.append(line)
+    widths = [max(len(r[i]) for r in [header] + body)
+              for i in range(len(header))]
+
+    def fmt(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [fmt(header), rule] + [fmt(r) for r in body]
+    return "\n".join(lines)
+
+
+#: The paper's Table 1 feature matrix, for cross-checking our registry.
+PAPER_TABLE1 = {
+    "treiber":              dict(helping=False, future_lp=False,
+                                 java_pkg=False, hs_book=True),
+    "hsy_stack":            dict(helping=True, future_lp=False,
+                                 java_pkg=False, hs_book=True),
+    "ms_two_lock_queue":    dict(helping=False, future_lp=False,
+                                 java_pkg=False, hs_book=True),
+    "ms_lock_free_queue":   dict(helping=False, future_lp=True,
+                                 java_pkg=True, hs_book=True),
+    "dglm_queue":           dict(helping=False, future_lp=True,
+                                 java_pkg=False, hs_book=False),
+    "lock_coupling_list":   dict(helping=False, future_lp=False,
+                                 java_pkg=False, hs_book=True),
+    "optimistic_list":      dict(helping=False, future_lp=False,
+                                 java_pkg=False, hs_book=True),
+    "lazy_list":            dict(helping=True, future_lp=True,
+                                 java_pkg=False, hs_book=True),
+    "harris_michael_list":  dict(helping=True, future_lp=True,
+                                 java_pkg=True, hs_book=True),
+    "pair_snapshot":        dict(helping=False, future_lp=True,
+                                 java_pkg=False, hs_book=False),
+    "ccas":                 dict(helping=True, future_lp=True,
+                                 java_pkg=False, hs_book=False),
+    "rdcss":                dict(helping=True, future_lp=True,
+                                 java_pkg=False, hs_book=False),
+}
+
+
+def check_feature_matrix() -> List[str]:
+    """Compare our registry's flags against the paper's Table 1."""
+
+    problems = []
+    for name, flags in PAPER_TABLE1.items():
+        alg = get_algorithm(name)
+        ours = dict(helping=alg.helping, future_lp=alg.future_lp,
+                    java_pkg=alg.java_pkg, hs_book=alg.hs_book)
+        if ours != flags:
+            problems.append(f"{name}: registry {ours} != paper {flags}")
+    return problems

@@ -1,0 +1,6 @@
+"""Make tests/ importable as a flat namespace (helpers.py)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,56 @@
+"""Shared miniature objects and specifications for the test suite."""
+
+from __future__ import annotations
+
+from repro.lang import MethodDef, ObjectImpl, seq
+from repro.lang.builders import add, assign, atomic, ret
+from repro.spec import OSpec, abs_obj, deterministic
+
+
+def register_impl() -> ObjectImpl:
+    """An atomic read/write register stored in object variable ``x``."""
+
+    read = MethodDef("read", "u", (), seq(ret("x")))
+    write = MethodDef("write", "v", (), seq(assign("x", "v"), ret(0)))
+    return ObjectImpl({"read": read, "write": write}, {"x": 0},
+                      name="register")
+
+
+def register_spec() -> OSpec:
+    def g_read(_, th):
+        return (th["x"], th)
+
+    def g_write(v, th):
+        return (0, th.set("x", v))
+
+    return OSpec({"read": deterministic("read", g_read),
+                  "write": deterministic("write", g_write)},
+                 abs_obj(x=0), name="register")
+
+
+def atomic_counter_impl() -> ObjectImpl:
+    """inc() atomically increments ``x`` and returns the new value."""
+
+    inc = MethodDef("inc", "u", ("t",),
+                    seq(atomic(assign("t", "x"),
+                               assign("x", add("t", 1))),
+                        ret(add("t", 1))))
+    return ObjectImpl({"inc": inc}, {"x": 0}, name="atomic-counter")
+
+
+def racy_counter_impl() -> ObjectImpl:
+    """The Sec. 2.4 counterexample: non-atomic increment."""
+
+    inc = MethodDef("inc", "u", ("t",),
+                    seq(assign("t", "x"),
+                        assign("x", add("t", 1)),
+                        ret(add("t", 1))))
+    return ObjectImpl({"inc": inc}, {"x": 0}, name="racy-counter")
+
+
+def counter_spec() -> OSpec:
+    def g_inc(_, th):
+        return (th["x"] + 1, th.set("x", th["x"] + 1))
+
+    return OSpec({"inc": deterministic("inc", g_inc)}, abs_obj(x=0),
+                 name="counter")

@@ -1,0 +1,148 @@
+"""Tests for the abstract-program semantics (``with Γ do ...``) and the
+erasure normaliser's algebraic properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.instrument import erase, linself, normalize, trylinself
+from repro.lang import Call, Const, Print, Skip, Var, seq
+from repro.lang.ast import Atomic, If, Seq, While, structural_eq
+from repro.lang.builders import assign, atomic, eq, if_, while_
+from repro.semantics import (
+    AbstractProgram,
+    InvokeEvent,
+    Limits,
+    OutputEvent,
+    ReturnEvent,
+    explore_abstract,
+)
+from repro.spec import OSpec, abs_obj, deterministic
+
+from helpers import counter_spec, register_spec
+
+
+class TestAbstractExploration:
+    def test_calls_are_atomic(self):
+        """Invocation and return appear back to back in every history."""
+
+        prog = AbstractProgram(counter_spec(),
+                               (Call("r", "inc", Const(0)),
+                                Call("s", "inc", Const(0))))
+        res = explore_abstract(prog)
+        for h in res.histories:
+            for i, e in enumerate(h):
+                if isinstance(e, InvokeEvent):
+                    assert i + 1 < len(h) or h == h[:i + 1]
+                    if i + 1 < len(h):
+                        nxt = h[i + 1]
+                        assert isinstance(nxt, ReturnEvent)
+                        assert nxt.thread == e.thread
+
+    def test_return_values_sequential(self):
+        prog = AbstractProgram(counter_spec(),
+                               (Call("r", "inc", Const(0)),
+                                Call("s", "inc", Const(0))))
+        res = explore_abstract(prog)
+        rets = {tuple(e.value for e in h if isinstance(e, ReturnEvent))
+                for h in res.histories if len(h) == 4}
+        assert rets == {(1, 2)}  # never (1, 1): increments serialize
+
+    def test_observables(self):
+        prog = AbstractProgram(register_spec(),
+                               (seq(Call("r", "write", Const(5)),
+                                    Call("s", "read", Const(0)),
+                                    Print(Var("s"))),))
+        res = explore_abstract(prog)
+        assert (OutputEvent(1, 5),) in res.observables
+
+    def test_blocked_spec_aborts(self):
+        blocked = OSpec(
+            {"f": deterministic("f", lambda v, th: None)}, abs_obj())
+        prog = AbstractProgram(blocked, (Call("r", "f", Const(0)),))
+        res = explore_abstract(prog)
+        assert res.aborted
+
+    def test_nondeterministic_spec_fans_out(self):
+        coin = OSpec(
+            {"flip": __import__("repro.spec", fromlist=["MethodSpec"])
+             .MethodSpec("flip", lambda v, th: [(0, th), (1, th)])},
+            abs_obj())
+        prog = AbstractProgram(coin, (Call("r", "flip", Const(0)),))
+        res = explore_abstract(prog)
+        rets = {h[1].value for h in res.histories if len(h) == 2}
+        assert rets == {0, 1}
+
+    def test_bounded_flag(self):
+        prog = AbstractProgram(counter_spec(),
+                               (Call("r", "inc", Const(0)),))
+        res = explore_abstract(prog, Limits(max_depth=0, max_nodes=10))
+        assert res.bounded
+
+
+class TestNormalize:
+    def test_idempotent_on_examples(self):
+        cases = [
+            seq(assign("a", 1), Skip(), assign("b", 2)),
+            if_(eq("a", 1), Skip(), Skip()),
+            atomic(Skip()),
+            while_(eq("a", 0), Skip()),
+            atomic(assign("a", 1)),
+        ]
+        for stmt in cases:
+            once = normalize(stmt)
+            assert structural_eq(normalize(once), once)
+
+    def test_erase_after_erase_is_identity(self):
+        body = seq(assign("t", "x"),
+                   atomic(assign("x", 1), linself(), trylinself()),
+                   if_(eq("b", 1), linself()))
+        erased = erase(body)
+        assert structural_eq(erase(erased), erased)
+
+    def test_branchless_if_collapses(self):
+        stmt = if_(eq("a", 1), Skip(), Skip())
+        assert isinstance(normalize(stmt), Skip)
+
+    def test_atomic_of_skip_drops(self):
+        assert isinstance(normalize(Atomic(Skip())), Skip)
+
+    def test_single_primitive_atomic_unwraps(self):
+        inner = assign("a", 1)
+        out = normalize(Atomic(inner))
+        assert structural_eq(out, inner)
+
+    def test_while_body_preserved(self):
+        stmt = while_(eq("a", 0), atomic(trylinself()))
+        out = erase(stmt)
+        assert isinstance(out, While)
+        assert isinstance(out.body, Skip)
+
+
+@st.composite
+def small_stmts(draw, depth=0):
+    if depth > 2:
+        return draw(st.sampled_from([Skip(), assign("a", 1),
+                                     assign("b", 2)]))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return Skip()
+    if kind == 1:
+        return assign(draw(st.sampled_from("ab")), draw(st.integers(0, 2)))
+    if kind == 2:
+        return seq(draw(small_stmts(depth + 1)),
+                   draw(small_stmts(depth + 1)))
+    if kind == 3:
+        return if_(eq("a", 0), draw(small_stmts(depth + 1)),
+                   draw(small_stmts(depth + 1)))
+    return Atomic(draw(small_stmts(depth + 1)))
+
+
+@given(small_stmts())
+def test_normalize_idempotent_property(stmt):
+    once = normalize(stmt)
+    assert structural_eq(normalize(once), once)
+
+
+@given(small_stmts())
+def test_erase_of_uninstrumented_is_normalize(stmt):
+    assert structural_eq(erase(stmt), normalize(stmt))

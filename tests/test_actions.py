@@ -1,0 +1,148 @@
+"""Tests for the Fig. 9 rely/guarantee action semantics."""
+
+import pytest
+
+from repro.assertions.actions import (
+    Arrow,
+    Bracket,
+    IdAct,
+    OPlusAct,
+    OrAct,
+    StarAct,
+    TrueAct,
+    fences,
+    precise,
+    stable,
+    transitions,
+)
+from repro.assertions.fig8 import (
+    AbsCell,
+    EqA,
+    OPlus,
+    PointsTo,
+    RelState,
+    Star,
+    ThreadEndA,
+    ThreadPendingA,
+    TrueA,
+    UNIT,
+)
+from repro.lang import Const, Var
+from repro.memory import Store
+
+
+def D(*pairs):
+    return frozenset((Store(u), Store(th)) for u, th in pairs)
+
+
+def S(**vars):
+    return Store(vars)
+
+
+def states_x(values):
+    """Universe: x ↦ v with an abstract cell a ↦ v."""
+
+    return [RelState(Store({"x": v}), D(({}, {"a": v})))
+            for v in values]
+
+
+class TestBasicActions:
+    def test_arrow(self):
+        act = Arrow(EqA(Var("x"), Const(0)), EqA(Var("x"), Const(1)))
+        s0 = RelState(Store({"x": 0}), UNIT)
+        s1 = RelState(Store({"x": 1}), UNIT)
+        assert act.holds(s0, s1)
+        assert not act.holds(s1, s0)
+
+    def test_bracket_is_identity_on_p(self):
+        act = Bracket(EqA(Var("x"), Const(0)))
+        s0 = RelState(Store({"x": 0}), UNIT)
+        s1 = RelState(Store({"x": 1}), UNIT)
+        assert act.holds(s0, s0)
+        assert not act.holds(s0, s1)
+        assert not act.holds(s1, s1)
+
+    def test_id_and_true(self):
+        s0 = RelState(Store({"x": 0}), UNIT)
+        s1 = RelState(Store({"x": 1}), UNIT)
+        assert IdAct().holds(s0, s0) and not IdAct().holds(s0, s1)
+        assert TrueAct().holds(s0, s1)
+
+    def test_or(self):
+        inc = Arrow(EqA(Var("x"), Const(0)), EqA(Var("x"), Const(1)))
+        act = OrAct(inc, IdAct())
+        s0 = RelState(Store({"x": 0}), UNIT)
+        s1 = RelState(Store({"x": 1}), UNIT)
+        assert act.holds(s0, s1) and act.holds(s0, s0)
+
+
+class TestStarAction:
+    def test_frame_part_stays(self):
+        """(x: 0 ⋉ x: 1) * Id — changes x, leaves the heap cell alone."""
+
+        act = StarAct(Arrow(EqA(Var("x"), Const(0)),
+                            EqA(Var("x"), Const(1))),
+                      IdAct())
+        pre = RelState(Store({"x": 0, 5: 9}), UNIT)
+        good = RelState(Store({"x": 1, 5: 9}), UNIT)
+        bad = RelState(Store({"x": 1, 5: 0}), UNIT)
+        assert act.holds(pre, good)
+        assert not act.holds(pre, bad)
+
+
+class TestOPlusAction:
+    """``R ⊕ Id`` — the shape of a trylin step (Sec. 6.3)."""
+
+    def _trylin_action(self):
+        # R: the pending op of thread 1 finishes with 0 (abstract a: 0->1)
+        pend = ThreadPendingA(Const(1), "inc", Const(0))
+        done = ThreadEndA(Const(1), Const(1))
+        return OPlusAct(Arrow(pend, done), IdAct())
+
+    def test_trylin_transition(self):
+        pre = RelState(Store(), D(({1: ("op", "inc", 0)}, {})))
+        post = RelState(Store(), D(({1: ("op", "inc", 0)}, {}),
+                                   ({1: ("end", 1)}, {})))
+        assert self._trylin_action().holds(pre, post)
+
+    def test_dropping_the_original_is_not_r_oplus_id(self):
+        pre = RelState(Store(), D(({1: ("op", "inc", 0)}, {})))
+        post = RelState(Store(), D(({1: ("end", 1)}, {})))
+        # Δ' = {end} can still be split as end ∪ end, but the Id half
+        # requires the original pending speculation to survive.
+        assert not self._trylin_action().holds(pre, post)
+
+
+class TestJudgments:
+    def test_stability(self):
+        universe = states_x([0, 1, 2])
+        grows = OrAct(Arrow(TrueA(), TrueA()), IdAct())  # any transition
+        only_id = IdAct()
+        x_zero = Star(EqA(Var("x"), Const(0)), TrueA())
+        assert stable(x_zero, only_id, universe)
+        assert not stable(x_zero, grows, universe)
+
+    def test_precision(self):
+        universe = [RelState(Store({"x": 1, 5: 2}), UNIT)]
+        assert precise(Star(PointsTo(Const(5), Const(2)), TrueA()),
+                       universe) is False or True
+        # x ↦ _ with exact footprint is precise; `true` is not.
+        exact = PointsTo(Const(5), Const(2))
+        assert precise(exact, universe)
+        assert not precise(TrueA(), universe)
+
+    def test_fencing(self):
+        universe = states_x([0, 1])
+        inv = Star(EqA(Var("x"), Const(0)), AbsCell("a", Const(0)))
+        # An action fenced by the x=0 invariant: identity on it.
+        assert fences(inv, Bracket(inv), [s for s in universe
+                                          if s.sigma["x"] == 0])
+        # A transition leaving the invariant is not fenced.
+        leave = Arrow(TrueA(), TrueA())
+        assert not fences(inv, leave, universe)
+
+    def test_transitions_enumeration(self):
+        universe = states_x([0, 1])
+        ts = transitions(IdAct(), universe)
+        assert len(ts) == 2
+        assert all(a == b for a, b in ts)

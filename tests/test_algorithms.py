@@ -1,0 +1,189 @@
+"""Per-algorithm verification tests (the Table-1 pipeline, small bounds).
+
+Each algorithm gets: an erasure check, an instrumented-obligation check,
+and an independent Definition-2 model check — at reduced workloads so the
+whole file stays fast; the benchmarks run the full Table-1 workloads.
+"""
+
+import pytest
+
+from repro.algorithms import algorithm_names, get_algorithm
+from repro.algorithms.base import Workload
+from repro.semantics import Limits
+
+LIMITS = Limits(max_depth=4000, max_nodes=1_500_000)
+
+#: Reduced workloads for the test suite (threads, ops).
+FAST_WORKLOADS = {
+    "treiber": (2, 2),
+    "hsy_stack": (2, 1),
+    "ms_two_lock_queue": (2, 2),
+    "ms_lock_free_queue": (2, 1),
+    "dglm_queue": (2, 1),
+    "lock_coupling_list": (2, 2),
+    "optimistic_list": (2, 2),
+    "lazy_list": (2, 2),
+    "harris_michael_list": (2, 2),
+    "pair_snapshot": (2, 2),
+    "ccas": (2, 2),
+    "rdcss": (2, 2),
+}
+
+
+def fast_workload(name):
+    alg = get_algorithm(name)
+    threads, ops = FAST_WORKLOADS[name]
+    return Workload(alg.workload.menu, threads, ops)
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+class TestTable1Row:
+    def test_erasure(self, name):
+        alg = get_algorithm(name)
+        assert alg.check_erasure() == ()
+
+    def test_instrumented_obligations(self, name):
+        alg = get_algorithm(name)
+        res = alg.verify_instrumentation(fast_workload(name), LIMITS)
+        assert res.ok, res.summary()
+        assert not res.bounded
+
+    def test_linearizability_model_check(self, name):
+        alg = get_algorithm(name)
+        res = alg.check_linearizability(fast_workload(name), LIMITS)
+        assert res.ok, res.summary()
+        assert not res.bounded
+
+    def test_phi_maps_initial_memory(self, name):
+        from repro.memory import Store
+
+        alg = get_algorithm(name)
+        theta = alg.phi.of(Store(alg.impl.initial_memory))
+        assert theta == alg.spec.initial
+
+
+class TestFeatureMatrix:
+    def test_matches_paper_table1(self):
+        from repro.table import check_feature_matrix
+
+        assert check_feature_matrix() == []
+
+    def test_twelve_rows(self):
+        assert len(algorithm_names()) == 12
+
+    def test_non_fixed_lp_rows_use_advanced_commands(self):
+        """Rows flagged Helping/Fut.LP must use lin/trylin/commit."""
+
+        from repro.logic import uses_only_basic_commands
+
+        for name in algorithm_names():
+            alg = get_algorithm(name)
+            basic = all(
+                uses_only_basic_commands(m.body)
+                for m in alg.instrumented.methods.values())
+            if alg.helping or alg.future_lp:
+                assert not basic, (
+                    f"{name} is flagged non-fixed-LP but its "
+                    f"instrumentation is basic")
+            else:
+                assert basic, (
+                    f"{name} is flagged fixed-LP but uses advanced "
+                    f"auxiliary commands")
+
+
+class TestSeededBugDetection:
+    """The pipeline must reject broken variants (mutation testing)."""
+
+    def test_treiber_pop_stale_value_bug(self):
+        """The bug the pipeline caught during development: pop returning
+        a stale value when a late iteration finds the stack empty."""
+
+        from repro.algorithms.specs import stack_spec
+        from repro.algorithms.treiber import NODE
+        from repro.history import check_object_linearizable
+        from repro.lang import MethodDef, ObjectImpl, seq
+        from repro.lang.builders import (
+            assign, atomic, cas_var, eq, if_, ret, while_,
+        )
+
+        buggy_pop = MethodDef(
+            "pop", "u", ("t", "n", "v", "b"),
+            seq(assign("b", 0), assign("v", -1),
+                while_(eq("b", 0),
+                       atomic(assign("t", "S")),
+                       if_(eq("t", 0),
+                           assign("b", 1),  # BUG: stale v survives
+                           seq(NODE.load("v", "t", "val"),
+                               NODE.load("n", "t", "next"),
+                               cas_var("b", "S", "t", "n")))),
+                ret("v")))
+        good = get_algorithm("treiber")
+        impl = ObjectImpl({"push": good.impl.methods["push"],
+                           "pop": buggy_pop}, {"S": 0}, name="buggy")
+        res = check_object_linearizable(
+            impl, stack_spec(), good.workload.menu, threads=2,
+            ops_per_thread=2, limits=LIMITS)
+        assert not res.ok
+
+    def test_snapshot_without_validation_fails(self):
+        """Dropping the version validation breaks the pair snapshot."""
+
+        from repro.algorithms.pair_snapshot import (
+            READ_LOCALS, WRITE_LOCALS, _initial_memory, _write_body,
+            cell_d, cell_v,
+        )
+        from repro.algorithms.specs import BASE, snapshot_spec
+        from repro.history import check_object_linearizable
+        from repro.lang import BinOp, Const, MethodDef, ObjectImpl, Var, seq
+        from repro.lang.builders import (
+            add, assign, atomic, load, mod, mul, ret,
+        )
+
+        body = seq(
+            assign("i", BinOp("/", Var("ij"), Const(BASE))),
+            assign("j", mod("ij", BASE)),
+            atomic(load("a", cell_d("i"))),
+            atomic(load("b", cell_d("j"))),  # BUG: no validation
+            ret(add(mul("a", BASE), "b")))
+        impl = ObjectImpl(
+            {"readPair": MethodDef("readPair", "ij", READ_LOCALS, body),
+             "write": MethodDef("write", "id_", WRITE_LOCALS,
+                                _write_body(False))},
+            _initial_memory(), name="snapshot-unvalidated")
+        alg = get_algorithm("pair_snapshot")
+        res = check_object_linearizable(
+            impl, snapshot_spec(), alg.workload.menu, threads=2,
+            ops_per_thread=2, limits=LIMITS)
+        assert not res.ok
+
+    def test_lazy_list_unlocked_add_fails(self):
+        """Removing add's validation makes the lazy list lose updates."""
+
+        from repro.algorithms.lazy_list import (
+            LOCALS, NODE, _contains_body, _find, _initial_memory,
+            _remove_body,
+        )
+        from repro.algorithms.specs import set_spec
+        from repro.history import check_object_linearizable
+        from repro.lang import MethodDef, ObjectImpl, seq
+        from repro.lang.builders import assign, eq, if_, ret
+
+        body = seq(  # BUG: no locks, no validation
+            _find(),
+            if_(eq("cv", "v"),
+                assign("res", 0),
+                seq(NODE.alloc("x", val="v", next="curr"),
+                    NODE.store("pred", "next", "x"),
+                    assign("res", 1))),
+            ret("res"))
+        impl = ObjectImpl(
+            {"add": MethodDef("add", "v", LOCALS, body),
+             "remove": MethodDef("remove", "v", LOCALS,
+                                 _remove_body(False)),
+             "contains": MethodDef("contains", "v", LOCALS,
+                                   _contains_body(False))},
+            _initial_memory(), name="lazy-unlocked")
+        res = check_object_linearizable(
+            impl, set_spec(), [("add", 1), ("add", 2), ("remove", 1)],
+            threads=2, ops_per_thread=2, limits=LIMITS)
+        assert not res.ok

@@ -1,0 +1,121 @@
+"""Property-based tests of the Δ-transition algebra (Fig. 11).
+
+Random speculation sets over the set specification, checked against the
+laws the paper's semantics relies on: domain-exactness preservation,
+monotonicity of ``trylin``, idempotence of saturation, commutation of
+read-only firings.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import set_spec
+from repro.instrument.state import (
+    delta_lin,
+    delta_trylin,
+    delta_trylin_readonly,
+    dom_exact,
+    end_of,
+    op_of,
+    singleton_delta,
+)
+from repro.memory import Store
+from repro.spec import abs_obj
+
+SPEC = set_spec()
+METHODS = ("add", "remove", "contains")
+
+
+@st.composite
+def deltas(draw):
+    """Domain-exact Δ's over 1-3 threads and a small abstract set."""
+
+    tids = draw(st.lists(st.integers(1, 3), min_size=1, max_size=3,
+                         unique=True))
+    n_specs = draw(st.integers(1, 3))
+    pairs = set()
+    for _ in range(n_specs):
+        base = frozenset(draw(st.lists(st.integers(1, 2), max_size=2)))
+        pending = {}
+        for t in tids:
+            if draw(st.booleans()):
+                pending[t] = op_of(draw(st.sampled_from(METHODS)),
+                                   draw(st.integers(1, 2)))
+            else:
+                pending[t] = end_of(draw(st.integers(0, 1)))
+        pairs.add((Store(pending), abs_obj(S=base)))
+    return frozenset(pairs)
+
+
+@settings(max_examples=150, deadline=None)
+@given(deltas(), st.integers(1, 3))
+def test_lin_preserves_dom_exactness(delta, tid):
+    from repro.errors import InstrumentationError
+
+    assert dom_exact(delta)
+    try:
+        out = delta_lin(SPEC, delta, tid)
+    except InstrumentationError:
+        return  # tid not pending anywhere: the command is stuck
+    assert dom_exact(out)
+    assert len(out) <= len(delta)  # firing can only merge speculations
+    # after lin, tid has ended in every speculation
+    assert all(u[tid][0] == "end" for u, _ in out)
+
+
+@settings(max_examples=150, deadline=None)
+@given(deltas(), st.integers(1, 3))
+def test_trylin_is_monotone_and_idempotent(delta, tid):
+    from repro.errors import InstrumentationError
+
+    try:
+        once = delta_trylin(SPEC, delta, tid)
+    except InstrumentationError:
+        return
+    assert delta <= once
+    assert delta_trylin(SPEC, once, tid) == once
+    assert dom_exact(once)
+
+
+@settings(max_examples=150, deadline=None)
+@given(deltas())
+def test_trylin_readonly_never_changes_thetas(delta):
+    out = delta_trylin_readonly(SPEC, delta, "contains")
+    assert delta <= out
+    assert {th for _, th in out} == {th for _, th in delta}
+    assert dom_exact(out)
+
+
+@settings(max_examples=100, deadline=None)
+@given(deltas())
+def test_trylin_readonly_saturates(delta):
+    once = delta_trylin_readonly(SPEC, delta, "contains")
+    assert delta_trylin_readonly(SPEC, once, "contains") == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(deltas())
+def test_trylin_readonly_methods_commute(delta):
+    """Read-only saturation for different methods commutes."""
+
+    ab = delta_trylin_readonly(
+        SPEC, delta_trylin_readonly(SPEC, delta, "contains"), "add")
+    ba = delta_trylin_readonly(
+        SPEC, delta_trylin_readonly(SPEC, delta, "add"), "contains")
+    assert ab == ba
+
+
+@settings(max_examples=150, deadline=None)
+@given(deltas(), st.integers(1, 3))
+def test_lin_after_trylin_equals_forcing_the_branch(delta, tid):
+    """lin ∘ trylin = lin: forcing after speculation drops the
+    unfinished branch again."""
+
+    from repro.errors import InstrumentationError
+
+    try:
+        via_try = delta_lin(SPEC, delta_trylin(SPEC, delta, tid), tid)
+        direct = delta_lin(SPEC, delta, tid)
+    except InstrumentationError:
+        return
+    assert via_try == direct

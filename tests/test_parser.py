@@ -1,0 +1,277 @@
+"""Tests for the concrete-syntax parser and the pretty-printer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    Alloc,
+    Assign,
+    Atomic,
+    If,
+    Load,
+    MethodDef,
+    ObjectImpl,
+    Return,
+    Seq,
+    Skip,
+    Store,
+    While,
+)
+from repro.lang.ast import structural_eq
+from repro.lang.builders import Record
+from repro.lang.parser import parse_method, parse_methods, tokenize
+from repro.pretty import render_method, render_stmt
+
+
+class TestTokenizer:
+    def test_basic(self):
+        toks = tokenize("x := 1; // comment\ny := x + 2;")
+        texts = [t.text for t in toks]
+        assert texts == ["x", ":=", "1", ";", "y", ":=", "x", "+", "2", ";"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_char(self):
+        with pytest.raises(ParseError):
+            tokenize("x := $;")
+
+    def test_multichar_ops(self):
+        texts = [t.text for t in tokenize("a != b && c <= d || e >= f")]
+        assert "!=" in texts and "&&" in texts and "<=" in texts
+        assert "||" in texts and ">=" in texts
+
+
+class TestParseMethod:
+    def test_simple_method(self):
+        m = parse_method("""
+            inc(u) {
+              local t;
+              t := x;
+              x := t + 1;
+              return t + 1;
+            }
+        """)
+        assert m.name == "inc" and m.param == "u" and m.locals == ("t",)
+        stmts = m.body.stmts
+        assert isinstance(stmts[0], Assign)
+        assert isinstance(stmts[-1], Return)
+
+    def test_record_fields(self):
+        node = Record("node", "val", "next")
+        m = parse_method("""
+            peek(u) {
+              local t, v;
+              t := S;
+              v := t.val;
+              t.next := null;
+              return v;
+            }
+        """, {"node": node})
+        load = m.body.stmts[1]
+        assert isinstance(load, Load)
+        store = m.body.stmts[2]
+        assert isinstance(store, Store)
+
+    def test_new_record(self):
+        node = Record("node", "val", "next")
+        m = parse_method("""
+            mk(v) {
+              local x;
+              x := new node(v, null);
+              return x;
+            }
+        """, {"node": node})
+        alloc = m.body.stmts[0]
+        assert isinstance(alloc, Alloc)
+        assert len(alloc.inits) == 2
+
+    def test_new_record_fills_missing_fields(self):
+        node = Record("node", "val", "next")
+        m = parse_method("mk(v) { local x; x := new node(v); return x; }",
+                         {"node": node})
+        assert len(m.body.stmts[0].inits) == 2
+
+    def test_atomic_block(self):
+        m = parse_method("""
+            f(u) {
+              < x := 1; y := 2; >
+              return 0;
+            }
+        """)
+        assert isinstance(m.body.stmts[0], Atomic)
+
+    def test_do_while_desugars(self):
+        m = parse_method("""
+            f(u) {
+              local b;
+              do { b := x; } while (b = 0);
+              return b;
+            }
+        """)
+        kinds = [type(s) for s in m.body.stmts]
+        assert While in kinds
+
+    def test_cas_on_variable(self):
+        m = parse_method("""
+            f(u) {
+              local b, t;
+              b := cas(&S, t, 5);
+              return b;
+            }
+        """)
+        assert isinstance(m.body.stmts[0], Atomic)
+
+    def test_cas_on_field(self):
+        node = Record("node", "val", "next")
+        m = parse_method("""
+            f(u) {
+              local b, t, s, x;
+              b := cas(&t.next, s, x);
+              return b;
+            }
+        """, {"node": node})
+        assert isinstance(m.body.stmts[0], Atomic)
+
+    def test_aux_commands(self):
+        from repro.instrument.commands import Lin, LinSelf, TryLinSelf
+
+        m = parse_method("""
+            f(u) {
+              local b;
+              < b := cas(&S, 0, 1); if (b = 1) linself; >
+              trylinself;
+              lin(u);
+              return 0;
+            }
+        """)
+        kinds = [type(s) for s in m.body.stmts]
+        assert TryLinSelf in kinds and Lin in kinds
+
+    def test_heap_syntax(self):
+        m = parse_method("""
+            f(u) {
+              local v;
+              v := [u + 1];
+              [u] := v + 1;
+              return v;
+            }
+        """)
+        assert isinstance(m.body.stmts[0], Load)
+        assert isinstance(m.body.stmts[1], Store)
+
+    def test_nondet(self):
+        from repro.lang import NondetChoice
+
+        m = parse_method(
+            "f(u) { local h; h := nondet(1, 2, 3); return h; }")
+        assert isinstance(m.body.stmts[0], NondetChoice)
+
+    def test_bool_operators(self):
+        m = parse_method("""
+            f(u) {
+              local a;
+              if (a = 1 && (u != 0 || !(a < 3))) a := 2;
+              return a;
+            }
+        """)
+        assert isinstance(m.body.stmts[0], If)
+
+    def test_null_is_zero(self):
+        m = parse_method("f(u) { return null; }")
+        assert m.body.expr.value == 0
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_method("f(u) { return 0; } garbage")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_method("f(u) { x := 1 return 0; }")
+
+
+class TestParseUnit:
+    TREIBER_SOURCE = """
+        record node { val; next; }
+
+        push(v) {
+          local x, t, b;
+          x := new node(v, null);
+          b := 0;
+          while (b = 0) {
+            t := S;
+            x.next := t;
+            < b := cas(&S, t, x); if (b = 1) linself; >
+          }
+          return 0;
+        }
+
+        pop(u) {
+          local t, n, v, b;
+          b := 0; v := -1;
+          while (b = 0) {
+            < t := S; if (t = 0) linself; >
+            if (t = 0) {
+              v := -1; b := 1;
+            } else {
+              v := t.val;
+              n := t.next;
+              < b := cas(&S, t, n); if (b = 1) linself; >
+            }
+          }
+          return v;
+        }
+    """
+
+    def test_parse_treiber(self):
+        methods = parse_methods(self.TREIBER_SOURCE)
+        assert set(methods) == {"push", "pop"}
+
+    def test_parsed_treiber_verifies(self):
+        """The parsed instrumented Treiber passes the full pipeline."""
+
+        from repro.algorithms.specs import stack_spec
+        from repro.algorithms.treiber import stack_phi
+        from repro.instrument import (
+            InstrumentedMethod, InstrumentedObject, verify_instrumented,
+        )
+        from repro.semantics import Limits
+
+        methods = parse_methods(self.TREIBER_SOURCE)
+        iobj = InstrumentedObject(
+            "treiber-parsed",
+            {name: InstrumentedMethod(name, m.param, m.locals, m.body)
+             for name, m in methods.items()},
+            stack_spec(), {"S": 0}, phi=stack_phi())
+        res = verify_instrumented(
+            iobj, [("push", 1), ("pop", 0)], threads=2, ops_per_thread=2,
+            limits=Limits(4000, 1_500_000))
+        assert res.ok, res.summary()
+
+
+class TestPrettyRoundTrip:
+    def test_render_parse_roundtrip(self):
+        """parse(render(m)) is structurally equal to m."""
+
+        methods = parse_methods(TestParseUnit.TREIBER_SOURCE)
+        node = Record("node", "val", "next")
+        for m in methods.values():
+            text = render_method(m)
+            # rendering emits [addr] forms, not field sugar: reparse plain
+            again = parse_method(text, {"node": node})
+            assert again.name == m.name
+            assert structural_eq(again.body, m.body), text
+
+    def test_render_registry_listing(self):
+        """Fig. 1(a) regenerated from the verified registry object."""
+
+        from repro.algorithms import get_algorithm
+        from repro.pretty import render_object
+
+        alg = get_algorithm("treiber")
+        listing = render_object(alg.instrumented.methods.values(),
+                                title="Fig. 1(a): instrumented Treiber")
+        assert "linself" in listing
+        assert "push(v)" in listing

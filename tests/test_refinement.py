@@ -1,0 +1,73 @@
+"""Tests for contextual refinement (Def. 3) and Theorem 4."""
+
+from repro.lang import Call, Const, Print, Var, seq
+from repro.refinement import (
+    check_clients_refinement,
+    check_contextual_refinement,
+    check_equivalence_instance,
+)
+from repro.semantics import Limits
+
+from helpers import (
+    atomic_counter_impl,
+    counter_spec,
+    racy_counter_impl,
+    register_impl,
+    register_spec,
+)
+
+LIMITS = Limits(max_depth=2000, max_nodes=500_000)
+
+
+class TestDef3:
+    def test_register_refines(self):
+        res = check_contextual_refinement(
+            register_impl(), register_spec(),
+            [("read", 0), ("write", 1)], threads=2, ops_per_thread=1,
+            limits=LIMITS)
+        assert res.ok
+
+    def test_atomic_counter_refines(self):
+        res = check_contextual_refinement(
+            atomic_counter_impl(), counter_spec(), [("inc", 0)],
+            threads=2, ops_per_thread=1, limits=LIMITS)
+        assert res.ok
+
+    def test_racy_counter_does_not_refine(self):
+        res = check_contextual_refinement(
+            racy_counter_impl(), counter_spec(), [("inc", 0)],
+            threads=2, ops_per_thread=1, limits=LIMITS)
+        assert not res.ok
+        assert res.missing is not None
+
+    def test_fixed_client_refinement(self):
+        clients = (seq(Call("r", "inc", Const(0)), Print(Var("r"))),
+                   seq(Call("s", "inc", Const(0)), Print(Var("s"))))
+        ok = check_clients_refinement(atomic_counter_impl(), counter_spec(),
+                                      clients, LIMITS)
+        bad = check_clients_refinement(racy_counter_impl(), counter_spec(),
+                                       clients, LIMITS)
+        assert ok.ok and not bad.ok
+
+
+class TestTheorem4:
+    """Linearizability ⟺ contextual refinement, instance-checked."""
+
+    def test_agreement_on_linearizable_object(self):
+        res = check_equivalence_instance(
+            atomic_counter_impl(), counter_spec(), [("inc", 0)],
+            threads=2, ops_per_thread=1, limits=LIMITS)
+        assert res.linearizable.ok and res.refines.ok and res.consistent
+
+    def test_agreement_on_counterexample(self):
+        res = check_equivalence_instance(
+            racy_counter_impl(), counter_spec(), [("inc", 0)],
+            threads=2, ops_per_thread=1, limits=LIMITS)
+        assert not res.linearizable.ok and not res.refines.ok
+        assert res.consistent
+
+    def test_agreement_on_register(self):
+        res = check_equivalence_instance(
+            register_impl(), register_spec(), [("write", 1), ("read", 0)],
+            threads=2, ops_per_thread=1, limits=LIMITS)
+        assert res.consistent and res.linearizable.ok

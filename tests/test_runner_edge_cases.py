@@ -1,0 +1,110 @@
+"""Edge cases of the instrumented runner and the exploration bounds."""
+
+import pytest
+
+from repro.errors import InstrumentationError
+from repro.instrument import (
+    InstrumentedMethod,
+    InstrumentedObject,
+    InstrumentedRunner,
+    linself,
+    verify_instrumented,
+)
+from repro.lang import seq
+from repro.lang.builders import add, assign, atomic, ret, store
+from repro.semantics import Limits
+from repro.spec import RefMap, abs_obj
+
+from helpers import counter_spec
+
+
+def counter_obj(phi=None):
+    inc = InstrumentedMethod(
+        "inc", "u", ("t",),
+        seq(atomic(assign("t", "x"), assign("x", add("t", 1)), linself()),
+            ret(add("t", 1))))
+    return InstrumentedObject("counter", {"inc": inc}, counter_spec(),
+                              {"x": 0}, phi=phi)
+
+
+class TestRunnerValidation:
+    def test_unknown_menu_method_rejected(self):
+        with pytest.raises(InstrumentationError):
+            InstrumentedRunner(counter_obj(), [("mystery", 0)])
+
+    def test_phi_mismatch_reported(self):
+        phi = RefMap("wrong", lambda s: abs_obj(x=99))
+        res = verify_instrumented(counter_obj(phi), [("inc", 0)],
+                                  threads=1, ops_per_thread=1)
+        assert not res.ok
+        assert res.failures[0].kind == "refmap"
+
+    def test_invariant_checked_at_initial_state(self):
+        res = verify_instrumented(
+            counter_obj(), [("inc", 0)], threads=1, ops_per_thread=1,
+            invariant=lambda s, d: s["x"] != 0 or "initially broken")
+        assert not res.ok
+        assert res.failures[0].kind == "invariant"
+
+    def test_bounded_flag_set_on_tiny_budget(self):
+        res = verify_instrumented(counter_obj(), [("inc", 0)],
+                                  threads=2, ops_per_thread=2,
+                                  limits=Limits(max_depth=2, max_nodes=3))
+        assert res.bounded
+
+    def test_max_failures_collects_several(self):
+        runner = InstrumentedRunner(
+            counter_obj(), [("inc", 0)], threads=2, ops_per_thread=1,
+            invariant=lambda s, d: s["x"] < 1 or "x grew",
+            max_failures=3)
+        res = runner.run()
+        assert not res.ok
+        assert 1 <= len(res.failures) <= 3
+
+    def test_faulting_body_reported_not_raised(self):
+        bad = InstrumentedMethod(
+            "inc", "u", ("t",),
+            seq(store(999, 1),  # unallocated address
+                ret(0)))
+        iobj = InstrumentedObject("bad", {"inc": bad}, counter_spec(),
+                                  {"x": 0})
+        res = verify_instrumented(iobj, [("inc", 0)], threads=1,
+                                  ops_per_thread=1)
+        assert not res.ok
+        assert res.failures[0].kind == "fault"
+
+    def test_missing_return_reported(self):
+        from repro.lang.builders import assign as asg
+
+        bad = InstrumentedMethod("inc", "u", ("t",), asg("t", 1))
+        iobj = InstrumentedObject("bad", {"inc": bad}, counter_spec(),
+                                  {"x": 0})
+        res = verify_instrumented(iobj, [("inc", 0)], threads=1,
+                                  ops_per_thread=1)
+        assert not res.ok
+        assert res.failures[0].kind == "noret"
+
+    def test_zero_ops_workload_trivially_verifies(self):
+        res = verify_instrumented(counter_obj(), [("inc", 0)],
+                                  threads=2, ops_per_thread=0)
+        assert res.ok and res.nodes >= 1
+
+
+class TestMonitorProductEdges:
+    def test_empty_menu(self):
+        from repro.history import check_object_linearizable
+        from helpers import register_impl, register_spec
+
+        res = check_object_linearizable(register_impl(), register_spec(),
+                                        [], threads=2, ops_per_thread=2)
+        assert res.ok  # no operations, vacuously linearizable
+
+    def test_single_thread_is_sequential(self):
+        from repro.history import check_object_linearizable
+        from helpers import racy_counter_impl
+
+        # even the racy counter is fine with one thread
+        res = check_object_linearizable(racy_counter_impl(),
+                                        counter_spec(), [("inc", 0)],
+                                        threads=1, ops_per_thread=3)
+        assert res.ok

@@ -1,0 +1,299 @@
+"""Tests for the operational semantics (Fig. 5): evaluation, thread steps,
+atomic blocks, method calls, compression and whole-program exploration."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang import (
+    Call,
+    Const,
+    MethodDef,
+    Noret,
+    ObjectImpl,
+    Print,
+    Program,
+    Var,
+    seq,
+)
+from repro.lang.builders import (
+    add,
+    alloc,
+    assign,
+    assume,
+    atomic,
+    cas_var,
+    eq,
+    if_,
+    load,
+    lt,
+    ret,
+    store,
+    nondet,
+    while_,
+)
+from repro.memory import Store
+from repro.semantics import (
+    Env,
+    InvokeEvent,
+    Limits,
+    ObjAbortEvent,
+    OutputEvent,
+    ReturnEvent,
+    ThreadState,
+    expand_until_visible,
+    explore,
+    initial_thread,
+    run_block,
+    thread_step,
+)
+from repro.semantics.eval import eval_bool_in, eval_in
+from repro.semantics.thread import Fault
+
+from helpers import register_impl
+
+
+class TestEval:
+    def test_arith(self):
+        assert eval_in(add(Const(2), Const(3)), Store()) == 5
+
+    def test_var_lookup_chain(self):
+        local = Store({"x": 1})
+        shared = Store({"x": 9, "y": 2})
+        assert eval_in(Var("x"), local, shared) == 1
+        assert eval_in(Var("y"), local, shared) == 2
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvalError):
+            eval_in(Var("z"), Store())
+
+    def test_division_by_zero(self):
+        from repro.lang import BinOp
+
+        with pytest.raises(EvalError):
+            eval_in(BinOp("/", Const(1), Const(0)), Store())
+
+    def test_bool(self):
+        assert eval_bool_in(lt(Const(1), Const(2)), Store())
+        assert not eval_bool_in(eq(Const(1), Const(2)), Store())
+
+
+def client_env(sigma_c=None):
+    return Env(locals=None, sigma_c=sigma_c or Store(), sigma_o=Store())
+
+
+def method_env(locals=None, sigma_o=None):
+    return Env(locals=locals or Store(), sigma_c=Store(),
+               sigma_o=sigma_o or Store())
+
+
+class TestRunBlock:
+    def test_assign_local(self):
+        out = run_block(assign("t", 4), method_env())
+        assert out[0].locals["t"] == 4
+
+    def test_assign_object_var(self):
+        env = method_env(sigma_o=Store({"S": 0}))
+        out = run_block(assign("S", 7), env)
+        assert out[0].sigma_o["S"] == 7
+
+    def test_implicit_local_binds_in_sigma_l(self):
+        env = method_env(sigma_o=Store({"S": 0}))
+        out = run_block(assign("fresh", 1), env)
+        assert out[0].locals["fresh"] == 1
+        assert "fresh" not in out[0].sigma_o
+
+    def test_load_store_heap(self):
+        env = method_env(sigma_o=Store({1: 42}))
+        out = run_block(seq(load("t", 1), store(1, add("t", 1))), env)
+        assert out[0].locals["t"] == 42
+        assert out[0].sigma_o[1] == 43
+
+    def test_load_unallocated_faults(self):
+        with pytest.raises(Fault):
+            run_block(load("t", 99), method_env())
+
+    def test_alloc(self):
+        out = run_block(alloc("x", 1, 2), method_env())
+        env = out[0]
+        a = env.locals["x"]
+        assert env.sigma_o[a] == 1 and env.sigma_o[a + 1] == 2
+
+    def test_assume_blocks(self):
+        assert run_block(assume(eq(Const(0), Const(1))), method_env()) == []
+
+    def test_assume_passes(self):
+        assert len(run_block(assume(eq(Const(1), Const(1))),
+                             method_env())) == 1
+
+    def test_nondet_fans_out(self):
+        out = run_block(nondet("x", 1, 2, 3), method_env())
+        assert sorted(e.locals["x"] for e in out) == [1, 2, 3]
+
+    def test_if_branches(self):
+        out = run_block(if_(eq(Const(1), Const(1)), assign("a", 1),
+                            assign("a", 2)), method_env())
+        assert out[0].locals["a"] == 1
+
+    def test_while_terminates(self):
+        body = seq(assign("i", 0),
+                   while_(lt("i", 3), assign("i", add("i", 1))))
+        out = run_block(body, method_env())
+        assert out[0].locals["i"] == 3
+
+    def test_client_heap_in_sigma_c(self):
+        out = run_block(alloc("x", 5), client_env())
+        env = out[0]
+        a = env.sigma_c["x"]
+        assert env.sigma_c[a] == 5
+
+
+class TestCas:
+    def test_cas_success(self):
+        env = method_env(sigma_o=Store({"S": 3}))
+        out = run_block(cas_var("b", "S", 3, 9).body, env)
+        assert out[0].locals["b"] == 1
+        assert out[0].sigma_o["S"] == 9
+
+    def test_cas_failure(self):
+        env = method_env(sigma_o=Store({"S": 4}))
+        out = run_block(cas_var("b", "S", 3, 9).body, env)
+        assert out[0].locals["b"] == 0
+        assert out[0].sigma_o["S"] == 4
+
+
+class TestThreadStep:
+    def test_call_pushes_frame_and_emits_invoke(self):
+        impl = register_impl()
+        ts = initial_thread(Call("r", "write", Const(5)))
+        outs = thread_step(ts, 1, Store(), Store({"x": 0}), impl)
+        assert len(outs) == 1
+        out = outs[0]
+        assert isinstance(out.event, InvokeEvent)
+        assert out.event.method == "write" and out.event.arg == 5
+        assert out.thread_state.in_method
+
+    def test_return_pops_and_sets_retvar(self):
+        impl = register_impl()
+        ts = initial_thread(Call("r", "read", Const(0)))
+        (o1,) = thread_step(ts, 1, Store(), Store({"x": 7}), impl)
+        # step through body until the return event fires
+        state, sc, so = o1.thread_state, o1.sigma_c, o1.sigma_o
+        for _ in range(10):
+            outs = thread_step(state, 1, sc, so, impl)
+            (o,) = outs
+            state, sc, so = o.thread_state, o.sigma_c, o.sigma_o
+            if isinstance(o.event, ReturnEvent):
+                assert o.event.value == 7
+                assert sc["r"] == 7
+                assert not state.in_method
+                return
+        pytest.fail("method never returned")
+
+    def test_noret_aborts(self):
+        impl = ObjectImpl(
+            {"f": MethodDef("f", "x", (), assign("y", 1))})
+        ts = initial_thread(Call("r", "f", Const(0)))
+        (o1,) = thread_step(ts, 1, Store(), Store(), impl)
+        state, sc, so = o1.thread_state, o1.sigma_c, o1.sigma_o
+        for _ in range(10):
+            outs = thread_step(state, 1, sc, so, impl)
+            (o,) = outs
+            if o.aborted:
+                assert isinstance(o.event, ObjAbortEvent)
+                return
+            state, sc, so = o.thread_state, o.sigma_c, o.sigma_o
+        pytest.fail("noret never aborted")
+
+    def test_print_emits_output(self):
+        ts = initial_thread(Print(Const(3)))
+        (o,) = thread_step(ts, 2, Store(), Store(), None)
+        assert o.event == OutputEvent(2, 3)
+
+    def test_finished_thread_has_no_steps(self):
+        ts = ThreadState((), None)
+        assert thread_step(ts, 1, Store(), Store(), None) == []
+
+
+class TestExpandUntilVisible:
+    def test_method_local_steps_compress(self):
+        body = seq(assign("a", 1), assign("b", add("a", 1)),
+                   if_(eq("b", 2), assign("c", 5)), store(1, "c"))
+        from repro.semantics.thread import Frame, push_control
+
+        frame = Frame(Store({"a": 0, "b": 0, "c": 0}), "", (), "f")
+        ts = ThreadState(push_control(body, ()), frame)
+        out = expand_until_visible(ts, Store(), Store({1: 0}))
+        assert len(out) == 1
+        ts2, _ = out[0]
+        # Stops at the heap store (visible); locals already updated.
+        assert ts2.frame.locals["c"] == 5
+        assert str(ts2.control[0]) == "[1] := c"
+
+    def test_shared_reads_are_visible(self):
+        from repro.semantics.thread import Frame, push_control
+
+        frame = Frame(Store({"t": 0}), "", (), "f")
+        ts = ThreadState(push_control(assign("t", "S"), ()), frame)
+        out = expand_until_visible(ts, Store(), Store({"S": 1}))
+        (ts2, _), = out
+        assert ts2.control  # not compressed away
+
+    def test_client_not_compressed_without_flag(self):
+        ts = initial_thread(seq(assign("a", 1), Print(Var("a"))))
+        out = expand_until_visible(ts, Store(), Store(), False)
+        (ts2, sc), = out
+        assert "a" not in sc
+
+    def test_client_compressed_with_flag(self):
+        ts = initial_thread(seq(assign("a", 1), Print(Var("a"))))
+        out = expand_until_visible(ts, Store(), Store(), True)
+        (ts2, sc), = out
+        assert sc["a"] == 1
+        assert isinstance(ts2.control[0], Print)
+
+    def test_local_nondet_fans_out(self):
+        ts = initial_thread(seq(nondet("a", 1, 2), Print(Var("a"))))
+        out = expand_until_visible(ts, Store(), Store(), True)
+        assert sorted(sc["a"] for _, sc in out) == [1, 2]
+
+
+class TestExplore:
+    def test_sequential_client(self):
+        impl = register_impl()
+        prog = Program(impl, (seq(Call("r", "write", Const(4)),
+                                  Call("s", "read", Const(0)),
+                                  Print(Var("s"))),))
+        res = explore(prog)
+        assert not res.aborted and not res.bounded
+        assert (OutputEvent(1, 4),) in res.observables
+        longest = max(res.histories, key=len)
+        assert [type(e) for e in longest] == [InvokeEvent, ReturnEvent,
+                                              InvokeEvent, ReturnEvent]
+
+    def test_interleavings_produce_both_orders(self):
+        impl = register_impl()
+        prog = Program(impl, (Call("a", "write", Const(1)),
+                              Call("b", "write", Const(2))))
+        res = explore(prog)
+        firsts = {h[0].thread for h in res.histories if h}
+        assert firsts == {1, 2}
+
+    def test_bounded_flag_on_tiny_limits(self):
+        impl = register_impl()
+        prog = Program(impl, (Call("a", "write", Const(1)),))
+        res = explore(prog, Limits(max_depth=1, max_nodes=10))
+        assert res.bounded
+
+    def test_client_fault_aborts(self):
+        impl = register_impl()
+        prog = Program(impl, (Print(Var("unbound")),))
+        res = explore(prog)
+        assert res.aborted
+
+    def test_histories_prefix_closed(self):
+        impl = register_impl()
+        prog = Program(impl, (Call("a", "write", Const(1)),
+                              Call("b", "read", Const(0))))
+        res = explore(prog)
+        for h in res.histories:
+            assert h[:-1] in res.histories or h == ()

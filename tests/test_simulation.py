@@ -1,0 +1,139 @@
+"""Tests for the Definition-5 simulation checker (Fig. 2)."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.instrument import InstrumentedMethod, linself
+from repro.instrument.state import singleton_delta
+from repro.lang import seq
+from repro.lang.builders import add, assign, atomic, ret
+from repro.memory import Store
+from repro.memory.heap import allocate
+from repro.semantics import Limits
+from repro.simulation import MethodSimulation, simulate_all_methods
+
+
+def treiber_rely(phi):
+    def rely(sigma_o, delta):
+        out = []
+        theta = phi.of(sigma_o)
+        if theta is None:
+            return out
+        if len(theta["Stk"]) < 2 and len(sigma_o) < 9:
+            for v in (1, 2):
+                s2, addr = allocate(sigma_o, (v, sigma_o["S"]))
+                s2 = s2.set("S", addr)
+                d2 = frozenset((u, th.set("Stk", (v,) + th["Stk"]))
+                               for u, th in delta)
+                out.append((s2, d2))
+        if sigma_o["S"] != 0:
+            head = sigma_o["S"]
+            s2 = sigma_o.set("S", sigma_o[head + 1])
+            d2 = frozenset((u, th.set("Stk", th["Stk"][1:]))
+                           for u, th in delta)
+            out.append((s2, d2))
+        return out
+
+    return rely
+
+
+class TestFixedLPSimulation:
+    """Fig. 2(a): Treiber under an abstract push/pop environment."""
+
+    def _sim(self, method, arg):
+        alg = get_algorithm("treiber")
+        init = ((Store({"S": 0}),
+                 singleton_delta(Store(), alg.spec.initial)),)
+        return MethodSimulation(
+            alg.instrumented.methods[method], alg.spec, tid=1, arg=arg,
+            initial_shared=init, rely=treiber_rely(alg.phi),
+            guarantee=alg.guarantee)
+
+    def test_push_simulates(self):
+        res = self._sim("push", 1).check()
+        assert res.ok, res.summary()
+        assert res.used_lin_self and not res.used_speculation
+        assert "2(a)" in res.diagram()
+
+    def test_pop_simulates(self):
+        res = self._sim("pop", 0).check()
+        assert res.ok, res.summary()
+
+    def test_missing_lp_fails(self):
+        alg = get_algorithm("treiber")
+        from repro.algorithms.treiber import _push_body
+
+        method = InstrumentedMethod("push", "v", ("x", "t", "b"),
+                                    _push_body(False))  # no linself
+        init = ((Store({"S": 0}),
+                 singleton_delta(Store(), alg.spec.initial)),)
+        sim = MethodSimulation(method, alg.spec, tid=1, arg=1,
+                               initial_shared=init,
+                               rely=treiber_rely(alg.phi))
+        res = sim.check()
+        assert not res.ok
+        assert "speculation records" in res.failure
+
+
+class TestSpeculativeSimulation:
+    """Fig. 2(c): the pair snapshot's forward-backward simulation."""
+
+    def test_read_pair_simulates(self):
+        from repro.logic.fig12 import ARG, _rely
+
+        alg = get_algorithm("pair_snapshot")
+        init = ((Store(alg.impl.initial_memory),
+                 singleton_delta(Store(), alg.spec.initial)),)
+        sim = MethodSimulation(
+            alg.instrumented.methods["readPair"], alg.spec, tid=1,
+            arg=ARG, initial_shared=init, rely=_rely,
+            guarantee=alg.guarantee)
+        res = sim.check()
+        assert res.ok, res.summary()
+        assert res.used_speculation
+        assert "2(c)" in res.diagram()
+
+    def test_linself_instead_of_trylin_fails(self):
+        """A forward-only strategy cannot handle the future-dependent LP."""
+
+        from repro.algorithms.pair_snapshot import (
+            READ_LOCALS, cell_d, cell_v,
+        )
+        from repro.algorithms.specs import BASE
+        from repro.lang import BinOp, Const, Var
+        from repro.lang.builders import eq, if_, load, mod, mul, while_
+        from repro.logic.fig12 import ARG, _rely
+
+        alg = get_algorithm("pair_snapshot")
+        body = seq(
+            assign("i", BinOp("/", Var("ij"), Const(BASE))),
+            assign("j", mod("ij", BASE)),
+            assign("done", 0),
+            while_(eq("done", 0),
+                   atomic(load("a", cell_d("i")), load("v", cell_v("i"))),
+                   atomic(load("b", cell_d("j")), load("w", cell_v("j")),
+                          linself()),  # wrong: must speculate
+                   atomic(load("v2", cell_v("i")),
+                          if_(eq("v", "v2"), assign("done", 1)))),
+            ret(add(mul("a", BASE), "b")))
+        method = InstrumentedMethod("readPair", "ij", READ_LOCALS, body)
+        init = ((Store(alg.impl.initial_memory),
+                 singleton_delta(Store(), alg.spec.initial)),)
+        sim = MethodSimulation(method, alg.spec, tid=1, arg=ARG,
+                               initial_shared=init, rely=_rely)
+        res = sim.check()
+        assert not res.ok
+
+
+class TestComposition:
+    """Lemma 6 glue: per-method simulations + rely/guarantee + Def. 3."""
+
+    def test_treiber_composes(self):
+        alg = get_algorithm("treiber")
+        init = ((Store({"S": 0}),
+                 singleton_delta(Store(), alg.spec.initial)),)
+        report = simulate_all_methods(
+            alg, {"push": 1, "pop": 0}, init, treiber_rely(alg.phi),
+            limits=Limits(6000, 1_000_000))
+        assert report.ok, report.summary()
+        assert report.refinement is not None and report.refinement.ok

@@ -1,0 +1,87 @@
+"""Unit tests for the Δ ⇛ Δ' reachability used by Definition 5.
+
+The simulation's ``Δ ⇛ Δ'`` allows executing pending operations of any
+thread and dropping speculations; the checker realises it through the
+instrumentation's lin/trylin/commit steps.  These tests pin the algebra
+at the Δ level.
+"""
+
+import pytest
+
+from repro.algorithms import counter_spec
+from repro.instrument.state import (
+    delta_add_thread,
+    delta_lin,
+    delta_remove_thread,
+    delta_trylin,
+    end_of,
+    op_of,
+    return_values,
+    singleton_delta,
+    spec_step_thread,
+)
+from repro.errors import InstrumentationError
+from repro.memory import Store
+
+SPEC = counter_spec()
+
+
+def pending_delta(*tids):
+    d = singleton_delta(Store(), SPEC.initial)
+    for t in tids:
+        d = delta_add_thread(d, t, op_of("inc", 0))
+    return d
+
+
+class TestSpecStep:
+    def test_pending_fires(self):
+        d = pending_delta(1)
+        (pair,) = d
+        (out,) = spec_step_thread(SPEC, pair, 1)
+        assert out[0][1] == end_of(1)
+        assert out[1]["x"] == 1
+
+    def test_end_is_identity(self):
+        d = delta_lin(SPEC, pending_delta(1), 1)
+        (pair,) = d
+        assert spec_step_thread(SPEC, pair, 1) == (pair,)
+
+    def test_unknown_thread_is_stuck(self):
+        (pair,) = pending_delta(1)
+        with pytest.raises(InstrumentationError):
+            spec_step_thread(SPEC, pair, 9)
+
+
+class TestTwoThreadInterleavings:
+    def test_both_orders_reachable_by_trylin(self):
+        """Saturating with trylin covers every linearization order of two
+        pending increments — the speculation keeps all branches."""
+
+        d = pending_delta(1, 2)
+        d = delta_trylin(SPEC, d, 1)
+        d = delta_trylin(SPEC, d, 2)
+        d = delta_trylin(SPEC, d, 1)   # t1 may also fire *after* t2
+        rets = {(u.get(1), u.get(2)) for u, _ in d}
+        assert (op_of("inc", 0), op_of("inc", 0)) in rets
+        assert (end_of(1), end_of(2)) in rets  # t1 first
+        assert (end_of(2), end_of(1)) in rets  # t2 first
+
+    def test_return_values_view(self):
+        d = delta_trylin(SPEC, pending_delta(1), 1)
+        assert return_values(d, 1) == {None, 1}
+        d2 = delta_lin(SPEC, d, 1)
+        assert return_values(d2, 1) == {1}
+
+    def test_remove_requires_presence(self):
+        d = pending_delta(1)
+        with pytest.raises(InstrumentationError):
+            delta_remove_thread(d, 2)
+
+    def test_lifecycle(self):
+        d = pending_delta(1)
+        d = delta_lin(SPEC, d, 1)
+        d = delta_remove_thread(d, 1)
+        d = delta_add_thread(d, 1, op_of("inc", 0))
+        d = delta_lin(SPEC, d, 1)
+        ((u, th),) = d
+        assert u[1] == end_of(2) and th["x"] == 2

@@ -1,0 +1,168 @@
+"""Tests for specifications Γ, abstract objects θ and refinement maps φ."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecError
+from repro.memory import Store
+from repro.spec import MethodSpec, OSpec, RefMap, abs_obj, deterministic
+
+
+class TestAbsObj:
+    def test_kwargs(self):
+        th = abs_obj(Stk=(1, 2), flag=1)
+        assert th["Stk"] == (1, 2) and th["flag"] == 1
+
+    def test_mapping_plus_kwargs(self):
+        th = abs_obj({"a": 1}, b=2)
+        assert dict(th) == {"a": 1, "b": 2}
+
+    def test_hashable_with_tuple_values(self):
+        assert hash(abs_obj(Q=(1, 2))) == hash(abs_obj(Q=(1, 2)))
+
+
+class TestMethodSpec:
+    def test_deterministic_wrapping(self):
+        spec = deterministic("id", lambda v, th: (v, th))
+        assert spec.results(7, abs_obj()) == ((7, abs_obj()),)
+
+    def test_deterministic_none_means_blocked(self):
+        spec = deterministic("never", lambda v, th: None)
+        assert spec.results(0, abs_obj()) == ()
+
+    def test_nondeterministic(self):
+        spec = MethodSpec("coin", lambda v, th: [(0, th), (1, th)])
+        assert len(spec.results(0, abs_obj())) == 2
+
+    def test_non_int_return_rejected(self):
+        spec = MethodSpec("bad", lambda v, th: [("x", th)])
+        with pytest.raises(SpecError):
+            spec.results(0, abs_obj())
+
+
+class TestOSpec:
+    def test_lookup(self):
+        inc = deterministic("inc", lambda v, th: (0, th))
+        spec = OSpec({"inc": inc}, abs_obj(x=0))
+        assert spec.method("inc") is inc
+        assert "inc" in spec and "dec" not in spec
+        assert spec.method_names() == ("inc",)
+
+    def test_unknown_method(self):
+        spec = OSpec({}, abs_obj())
+        with pytest.raises(SpecError):
+            spec.method("nope")
+
+    def test_name_mismatch_rejected(self):
+        inc = deterministic("inc", lambda v, th: (0, th))
+        with pytest.raises(SpecError):
+            OSpec({"dec": inc}, abs_obj())
+
+
+class TestRefMap:
+    def test_partiality(self):
+        phi = RefMap("f", lambda s: abs_obj(x=s["x"]) if "x" in s else None)
+        assert phi.of(Store({"x": 3})) == abs_obj(x=3)
+        assert phi.of(Store()) is None
+
+
+class TestSharedSpecs:
+    """Sanity of the algorithm-library specifications."""
+
+    def test_stack_lifo(self):
+        from repro.algorithms import stack_spec
+
+        spec = stack_spec()
+        th = spec.initial
+        _, th = spec.method("push").results(1, th)[0]
+        _, th = spec.method("push").results(2, th)[0]
+        ret, th = spec.method("pop").results(0, th)[0]
+        assert ret == 2
+
+    def test_queue_fifo(self):
+        from repro.algorithms import queue_spec
+
+        spec = queue_spec()
+        th = spec.initial
+        _, th = spec.method("enq").results(1, th)[0]
+        _, th = spec.method("enq").results(2, th)[0]
+        ret, th = spec.method("deq").results(0, th)[0]
+        assert ret == 1
+
+    def test_empty_returns(self):
+        from repro.algorithms import queue_spec, stack_spec
+
+        assert stack_spec().method("pop").results(0,
+                                                  stack_spec().initial)[0][0] == -1
+        assert queue_spec().method("deq").results(0,
+                                                  queue_spec().initial)[0][0] == -1
+
+    def test_set_operations(self):
+        from repro.algorithms import set_spec
+
+        spec = set_spec()
+        th = spec.initial
+        ret, th = spec.method("add").results(5, th)[0]
+        assert ret == 1
+        ret, th = spec.method("add").results(5, th)[0]
+        assert ret == 0  # already present
+        ret, _ = spec.method("contains").results(5, th)[0]
+        assert ret == 1
+        ret, th = spec.method("remove").results(5, th)[0]
+        assert ret == 1
+        ret, _ = spec.method("remove").results(5, th)[0]
+        assert ret == 0
+
+    def test_ccas_semantics(self):
+        from repro.algorithms import ccas_spec, pack2
+
+        spec = ccas_spec(flag0=1, a0=0)
+        ret, th = spec.method("CCAS").results(pack2(0, 1), spec.initial)[0]
+        assert ret == 0 and th["a"] == 1
+        # flag off: no change, returns old value
+        _, th = spec.method("SetFlag").results(0, th)[0]
+        ret, th2 = spec.method("CCAS").results(pack2(1, 2), th)[0]
+        assert ret == 1 and th2["a"] == 1
+
+    def test_rdcss_semantics(self):
+        from repro.algorithms import pack3, rdcss_spec
+
+        spec = rdcss_spec(a1_0=0, a2_0=0)
+        ret, th = spec.method("RDCSS").results(pack3(0, 0, 1),
+                                               spec.initial)[0]
+        assert ret == 0 and th["a2"] == 1
+        # a1 mismatch: no change
+        ret, th2 = spec.method("RDCSS").results(pack3(5, 1, 2), th)[0]
+        assert ret == 1 and th2["a2"] == 1
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.algorithms import pack2, pack3, unpack2, unpack3
+
+        for a in range(4):
+            for b in range(4):
+                assert unpack2(pack2(a, b)) == (a, b)
+        assert unpack3(pack3(1, 2, 3)) == (1, 2, 3)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "pop"]),
+                          st.integers(0, 3)), max_size=12))
+def test_stack_spec_is_a_stack(ops):
+    """Property: the spec behaves like a reference Python list stack."""
+
+    from repro.algorithms import EMPTY, stack_spec
+
+    spec = stack_spec()
+    th = spec.initial
+    model = []
+    for method, arg in ops:
+        if method == "push":
+            ret, th = spec.method("push").results(arg, th)[0]
+            model.append(arg)
+            assert ret == 0
+        else:
+            ret, th = spec.method("pop").results(0, th)[0]
+            if model:
+                assert ret == model.pop()
+            else:
+                assert ret == EMPTY
+    assert list(th["Stk"]) == list(reversed(model))
