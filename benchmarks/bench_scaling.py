@@ -10,12 +10,18 @@ checkers:
   engine is exponentially worse;
 * growth in threads vs growth in operations for the product engine;
 * the instrumented (proof-witness) runner vs the model checker: carrying
-  the proof's Δ is cheaper than searching for linearizations.
+  the proof's Δ is cheaper than searching for linearizations;
+* the exploration engines against each other: the parallel work-stealing
+  driver must agree with the sequential engine on every Table-1 verdict,
+  and the persistent memo cache must turn a repeated above-seed-bound run
+  into a ≥2x-faster cache hit.
 """
+
+import time
 
 import pytest
 
-from repro.algorithms import get_algorithm
+from repro.algorithms import algorithm_names, get_algorithm
 from repro.history import check_object_linearizable
 from repro.semantics import Limits
 
@@ -69,3 +75,98 @@ def test_instrumented_witness_vs_model_checking(benchmark, threads, ops):
           f"model checker: {lin.nodes_explored} states")
     assert instr.ok and lin.ok
     assert instr.nodes <= lin.nodes_explored
+
+
+# ---------------------------------------------------------------------------
+# Exploration engines (parallel work stealing, persistent memoization)
+# ---------------------------------------------------------------------------
+
+#: Above-seed-bound workload for the engine speedup demonstration.
+SPEEDUP_ALG = "pair_snapshot"
+SPEEDUP_THREADS = 2
+SPEEDUP_OPS = 3
+
+
+def _lin_verdict(name, engine=None, threads=None, ops=None):
+    alg = get_algorithm(name)
+    w = alg.workload
+    return check_object_linearizable(
+        alg.impl, alg.spec, w.menu,
+        threads or w.threads, ops or w.ops_per_thread,
+        alg.limits, phi=alg.phi, engine=engine)
+
+
+def test_parallel_verdicts_match_sequential_all_rows(benchmark):
+    """The parallel engine reproduces every Table-1 verdict exactly."""
+
+    def run(engine):
+        return {name: _lin_verdict(name, engine=engine)
+                for name in algorithm_names()}
+
+    sequential = run(None)
+    parallel = benchmark.pedantic(run, args=("parallel",),
+                                  rounds=1, iterations=1)
+    benchmark.extra_info["engine"] = "parallel"
+    benchmark.extra_info["bounded"] = any(
+        r.bounded for r in parallel.values())
+    for name in algorithm_names():
+        seq, par = sequential[name], parallel[name]
+        assert seq.ok == par.ok, name
+        assert seq.bounded == par.bounded, name
+        print(f"\n[{name}] sequential={seq.ok} parallel={par.ok}")
+    assert all(r.ok for r in parallel.values())
+
+
+def test_memoized_rerun_speedup_above_seed_bounds(benchmark, tmp_path,
+                                                  monkeypatch):
+    """A repeated above-seed-bound run is served from the memo cache
+    ≥2x faster than the sequential explorer."""
+
+    monkeypatch.setenv("REPRO_ENGINE_CACHE", str(tmp_path))
+
+    t0 = time.perf_counter()
+    cold = _lin_verdict(SPEEDUP_ALG, engine=None,
+                        threads=SPEEDUP_THREADS, ops=SPEEDUP_OPS)
+    sequential_s = time.perf_counter() - t0
+
+    fill = _lin_verdict(SPEEDUP_ALG, engine="sequential+memo",
+                        threads=SPEEDUP_THREADS, ops=SPEEDUP_OPS)
+    assert not fill.from_cache
+
+    t1 = time.perf_counter()
+    warm = benchmark.pedantic(
+        _lin_verdict, args=(SPEEDUP_ALG,),
+        kwargs=dict(engine="sequential+memo", threads=SPEEDUP_THREADS,
+                    ops=SPEEDUP_OPS),
+        rounds=1, iterations=1)
+    warm_s = time.perf_counter() - t1
+
+    speedup = sequential_s / max(warm_s, 1e-9)
+    benchmark.extra_info["engine"] = "sequential+memo"
+    benchmark.extra_info["bounded"] = warm.bounded
+    benchmark.extra_info["sequential_seconds"] = sequential_s
+    benchmark.extra_info["speedup"] = speedup
+    print(f"\n[{SPEEDUP_ALG} {SPEEDUP_THREADS}x{SPEEDUP_OPS}] "
+          f"sequential {sequential_s:.2f}s vs memoized rerun "
+          f"{warm_s:.4f}s -> {speedup:.0f}x")
+    assert warm.from_cache
+    assert warm.ok == fill.ok == cold.ok
+    assert warm.nodes_explored == cold.nodes_explored
+    assert speedup >= 2.0
+
+
+def test_random_walk_engine_above_seed_bounds(benchmark):
+    """The sampling fallback on the same above-seed workload: orders of
+    magnitude cheaper, reported distinctly (``exhaustive=False``)."""
+
+    res = benchmark.pedantic(
+        _lin_verdict, args=(SPEEDUP_ALG,),
+        kwargs=dict(engine="random-walk", threads=SPEEDUP_THREADS,
+                    ops=SPEEDUP_OPS),
+        rounds=1, iterations=1)
+    benchmark.extra_info["engine"] = "random-walk"
+    benchmark.extra_info["bounded"] = res.bounded
+    benchmark.extra_info["exhaustive"] = res.exhaustive
+    print(f"\n[{SPEEDUP_ALG} {SPEEDUP_THREADS}x{SPEEDUP_OPS}] "
+          f"{res.summary()}")
+    assert res.ok and not res.exhaustive

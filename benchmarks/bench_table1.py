@@ -4,6 +4,10 @@ One benchmark per row: the full verification pipeline (erasure,
 instrumented obligations with I and G, independent Definition-2 model
 check) at the row's standard workload.  The final case renders the
 complete table and cross-checks the feature matrix against the paper's.
+
+Each row's ``bounded`` cut-off flag, engine, and exhaustiveness are
+recorded in the benchmark JSON (``extra_info``) so artifact consumers can
+distinguish exhaustive verdicts from bound-cut or sampled ones.
 """
 
 import pytest
@@ -13,6 +17,7 @@ from repro.table import (
     Table1Row,
     check_feature_matrix,
     render_table1,
+    table1_json,
     verify_row,
 )
 
@@ -24,6 +29,10 @@ def test_table1_row(benchmark, name):
     row = benchmark.pedantic(verify_row, args=(name,),
                              rounds=1, iterations=1)
     _rows[name] = row
+    benchmark.extra_info["bounded"] = row.bounded
+    benchmark.extra_info["engine"] = row.engine
+    benchmark.extra_info["exhaustive"] = row.exhaustive
+    benchmark.extra_info["workload"] = row.workload
     assert row.verified, row.report.summary()
     assert not row.report.instrumented.bounded
     assert not row.report.linearizability.bounded
@@ -34,4 +43,6 @@ def test_table1_render_and_feature_matrix():
     rows = [_rows[n] for n in algorithm_names() if n in _rows]
     if rows:
         print("\n" + render_table1(rows))
+        for entry in table1_json(rows):
+            assert entry["verified"] and not entry["bounded"]
         assert all(r.verified for r in rows)

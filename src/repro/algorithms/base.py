@@ -106,29 +106,35 @@ class Algorithm:
 
     def verify_instrumentation(self,
                                workload: Optional[Workload] = None,
-                               limits: Optional[Limits] = None
-                               ) -> InstrumentedRunResult:
+                               limits: Optional[Limits] = None,
+                               engine=None) -> InstrumentedRunResult:
         w = workload or self.workload
         return verify_instrumented(
             self.instrumented, w.menu, w.threads, w.ops_per_thread,
-            limits or self.limits, self.invariant, self.guarantee)
+            limits or self.limits, self.invariant, self.guarantee,
+            engine=engine)
 
     def check_linearizability(self,
                               workload: Optional[Workload] = None,
                               limits: Optional[Limits] = None,
-                              definitional: bool = False) -> ObjectLinResult:
+                              definitional: bool = False,
+                              engine=None) -> ObjectLinResult:
         w = workload or self.workload
         return check_object_linearizable(
             self.impl, self.spec, w.menu, w.threads, w.ops_per_thread,
-            limits or self.limits, phi=self.phi, definitional=definitional)
+            limits or self.limits, phi=self.phi, definitional=definitional,
+            engine=engine)
 
     def verify(self, workload: Optional[Workload] = None,
-               limits: Optional[Limits] = None) -> VerificationReport:
+               limits: Optional[Limits] = None,
+               engine=None) -> VerificationReport:
         problems = self.check_erasure()
         return VerificationReport(
             name=self.name,
             erasure_ok=not problems,
             erasure_problems=problems,
-            instrumented=self.verify_instrumentation(workload, limits),
-            linearizability=self.check_linearizability(workload, limits),
+            instrumented=self.verify_instrumentation(workload, limits,
+                                                     engine=engine),
+            linearizability=self.check_linearizability(workload, limits,
+                                                       engine=engine),
         )

@@ -1,0 +1,117 @@
+"""Engine selection for state-space exploration.
+
+Every exploration entry point (``explore``, the Definition-2 product
+engine, the instrumented runner, contextual refinement, Table 1) accepts
+an ``engine=`` argument.  It may be
+
+* ``None`` / ``"sequential"`` — the original single-process search
+  (default; bit-for-bit the pre-engine behaviour);
+* ``"parallel"`` — the work-stealing multiprocessing driver of
+  :mod:`repro.engine.parallel` (exact: same histories/traces/verdicts as
+  sequential when exploration completes within bounds);
+* ``"random-walk"`` — the seeded sampling fallback of
+  :mod:`repro.engine.random_walk` for bounds too large to exhaust
+  (under-approximate: results carry ``exhaustive=False`` and must never
+  be read as exhaustive verdicts);
+* an :class:`EngineSpec` for full control (worker count, memoization,
+  seed, ...).
+
+``EngineSpec(memo=True)`` additionally consults the persistent on-disk
+cache of :mod:`repro.engine.memo` before exploring and stores the result
+after: repeated benchmark runs with an unchanged source tree skip the
+exploration entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+SEQUENTIAL = "sequential"
+PARALLEL = "parallel"
+RANDOM_WALK = "random-walk"
+
+KINDS = (SEQUENTIAL, PARALLEL, RANDOM_WALK)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Fully-resolved description of how to run an exploration."""
+
+    kind: str = SEQUENTIAL
+    #: Worker processes for ``parallel`` (0 = one per CPU).
+    workers: int = 0
+    #: Consult/update the persistent on-disk memo cache.
+    memo: bool = False
+    #: Cache directory override (else ``REPRO_ENGINE_CACHE`` / default).
+    cache_dir: Optional[str] = None
+    #: PRNG seed for ``random-walk`` (results are reproducible per seed).
+    seed: int = 0
+    #: Number of walks for ``random-walk``.
+    walks: int = 256
+    #: Node budget after which a parallel worker spills the rest of its
+    #: subtree back to the shared frontier (work-stealing granularity).
+    spill_nodes: int = 10_000
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ReproError(
+                f"unknown engine kind {self.kind!r}; known: {KINDS}")
+
+    @property
+    def sequential(self) -> bool:
+        return self.kind == SEQUENTIAL
+
+    @property
+    def exhaustive(self) -> bool:
+        """Does this engine visit the *whole* bounded state space?"""
+
+        return self.kind != RANDOM_WALK
+
+    def effective_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return max(os.cpu_count() or 1, 1)
+
+    def describe(self) -> str:
+        bits = [self.kind]
+        if self.kind == PARALLEL:
+            bits.append(f"workers={self.effective_workers()}")
+        if self.kind == RANDOM_WALK:
+            bits.append(f"walks={self.walks}")
+            bits.append(f"seed={self.seed}")
+        if self.memo:
+            bits.append("memo")
+        return ",".join(bits)
+
+
+Engine = Union[None, str, EngineSpec]
+
+SEQUENTIAL_SPEC = EngineSpec(SEQUENTIAL)
+
+
+def resolve_engine(engine: Engine) -> EngineSpec:
+    """Normalise an ``engine=`` argument to an :class:`EngineSpec`."""
+
+    if engine is None:
+        return SEQUENTIAL_SPEC
+    if isinstance(engine, EngineSpec):
+        return engine
+    if isinstance(engine, str):
+        memo = False
+        kind = engine
+        # "parallel+memo" / "sequential+memo" convenience spellings.
+        if kind.endswith("+memo"):
+            memo = True
+            kind = kind[: -len("+memo")]
+        return EngineSpec(kind=kind, memo=memo)
+    raise ReproError(f"cannot interpret engine argument {engine!r}")
+
+
+def with_memo(engine: Engine, memo: bool = True) -> EngineSpec:
+    """The resolved engine with memoization switched on/off."""
+
+    return replace(resolve_engine(engine), memo=memo)

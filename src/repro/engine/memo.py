@@ -1,0 +1,160 @@
+"""Persistent on-disk memoization of exploration results.
+
+Bounded exploration is deterministic: the result of exploring a program
+under given limits is a pure function of (program, limits, the semantics
+implemented by this source tree, and — for sampling engines — the seed).
+The cache therefore keys entries on exactly those ingredients:
+
+* a canonical digest of the *problem* (program / object / workload);
+* the :class:`~repro.semantics.scheduler.Limits`;
+* engine-kind parameters that change the answer (``random-walk``'s seed
+  and walk count — worker counts do *not* enter the key, parallel and
+  sequential results are interchangeable);
+* a fingerprint of every ``.py`` file under ``repro`` — any change to
+  the semantics invalidates every entry (the invalidation rule).
+
+Entries are pickled result objects under one directory, default
+``~/.cache/repro-engine`` (override with the ``REPRO_ENGINE_CACHE``
+environment variable, or per-call via ``EngineSpec.cache_dir``).  Writes
+are atomic (tmp file + rename) so concurrent benchmark processes can
+share a cache.  A corrupt or unreadable entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .canonical import canonical_bytes
+
+ENV_CACHE_DIR = "REPRO_ENGINE_CACHE"
+_FINGERPRINT_CACHE: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` source file of the ``repro`` package.
+
+    Computed once per process; any semantic change to the checker
+    invalidates all cached results through this fingerprint.
+    """
+
+    global _FINGERPRINT_CACHE
+    if _FINGERPRINT_CACHE is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.blake2b(digest_size=16)
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _FINGERPRINT_CACHE = h.hexdigest()
+    return _FINGERPRINT_CACHE
+
+
+def memo_key(kind: str, problem, limits, extra=()) -> str:
+    """The cache key for one exploration.
+
+    ``problem`` and ``extra`` may be anything :func:`canonical_bytes`
+    accepts (programs, object implementations, menus, tuples, ...).
+    """
+
+    h = hashlib.blake2b(digest_size=20)
+    h.update(kind.encode())
+    h.update(b"\0")
+    h.update(canonical_bytes(problem))
+    h.update(b"\0")
+    h.update(canonical_bytes(limits))
+    h.update(b"\0")
+    h.update(canonical_bytes(tuple(extra) if not isinstance(extra, tuple)
+                             else extra))
+    h.update(b"\0")
+    h.update(code_fingerprint().encode())
+    return h.hexdigest()
+
+
+class MemoCache:
+    """A directory of pickled exploration results."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or ``None`` on a miss."""
+
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError,
+                MemoryError):
+            # Anything unreadable — truncated, corrupted, or written by an
+            # incompatible pickle — is a miss, never an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value) -> bool:
+        """Store ``value`` under ``key`` (atomic; best-effort)."""
+
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entries(self) -> Iterable[Path]:
+        if self.directory.is_dir():
+            yield from sorted(self.directory.glob("*.pkl"))
+
+    def stats(self) -> dict:
+        paths = list(self.entries())
+        return {
+            "directory": str(self.directory),
+            "entries": len(paths),
+            "bytes": sum(p.stat().st_size for p in paths),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def open_cache(cache_dir: Optional[os.PathLike] = None) -> MemoCache:
+    return MemoCache(cache_dir)

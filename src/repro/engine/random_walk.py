@@ -1,0 +1,179 @@
+"""Seeded random-walk exploration — the fallback for unexhaustible bounds.
+
+When the bounded state space is too large to exhaust, a random walk
+samples complete executions instead: starting from a uniformly chosen
+initial node, repeatedly pick one enabled successor uniformly at random
+until the execution quiesces, aborts, or hits the depth bound.  Every
+walk is a genuine execution path of the sequential explorer, so
+
+* every history / observable trace a walk records is in the exhaustive
+  engine's (prefix-closed) sets — random-walk results are always an
+  *under*-approximation;
+* any violation a walk finds (non-linearizable history, failed
+  instrumented obligation) is a real counterexample.
+
+What a walk can *not* do is prove absence: results carry
+``exhaustive=False`` and the reporting layer renders them as "no
+violation found (sampled)", never as a verified bound.  Walks are driven
+by ``random.Random(seed)`` — the same seed, walk count and source tree
+reproduce the same result exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..semantics.scheduler import (
+    ExplorationResult,
+    Explorer,
+    Limits,
+    Program,
+)
+
+
+def random_walk_explore(program: Program, limits: Optional[Limits] = None,
+                        walks: int = 256, seed: int = 0
+                        ) -> ExplorationResult:
+    """Sample ``walks`` executions; returns a partial exploration result."""
+
+    explorer = Explorer(program, limits)
+    limits = explorer.limits
+    rng = random.Random(seed)
+    result = ExplorationResult(engine="random-walk", exhaustive=False)
+    result.histories.add(())
+    result.observables.add(())
+    starts = explorer.start_nodes()
+    if not starts:
+        return result
+
+    for _ in range(walks):
+        config, hist, obs, depth = starts[rng.randrange(len(starts))]
+        while True:
+            result.nodes += 1
+            successors = explorer._expand(config)
+            if not successors:
+                result.add_prefixes(obs)
+                result.terminal_configs.add(config)
+                break
+            if depth >= limits.max_depth:
+                result.bounded = True
+                result.add_prefixes(obs)
+                break
+            next_config, event = successors[rng.randrange(len(successors))]
+            if event is not None:
+                if event.is_object_event:
+                    hist = hist + (event,)
+                    result.histories.add(hist)
+                if event.is_observable:
+                    obs = obs + (event,)
+                    result.add_prefixes(obs)
+            if next_config is None:
+                result.aborted = True
+                break
+            config = next_config
+            depth += 1
+    return result
+
+
+def random_walk_lin(program: Program, spec, limits: Optional[Limits] = None,
+                    walks: int = 256, seed: int = 0, theta=None):
+    """Sampled Definition-2 check: walk the product graph, monitor Δ.
+
+    A violation found is real; ``ok=True`` only means no violation was
+    found on the sampled paths (``exhaustive=False``).
+    """
+
+    from ..history.monitor import SpecMonitor
+    from ..history.object_lin import ObjectLinResult
+
+    explorer = Explorer(program)
+    limits = limits or Limits()
+    monitor = SpecMonitor(spec)
+    rng = random.Random(seed)
+    out = ObjectLinResult(ok=True, engine="random-walk", exhaustive=False)
+    distinct = {()}
+    starts = explorer.initial_nodes()
+    if not starts:
+        out.histories_checked = len(distinct)
+        return out
+    states0 = monitor.initial(theta)
+
+    for _ in range(walks):
+        config = starts[rng.randrange(len(starts))]
+        states = states0
+        hist = ()
+        depth = 0
+        while True:
+            out.nodes_explored += 1
+            successors = explorer._expand(config)
+            if not successors:
+                break
+            if depth >= limits.max_depth:
+                out.bounded = True
+                break
+            next_config, event = successors[rng.randrange(len(successors))]
+            if event is not None and event.is_object_event:
+                states = monitor.step(states, event)
+                hist = hist + (event,)
+                distinct.add(hist)
+                if not states:
+                    out.ok = False
+                    out.counterexample = hist
+                    out.reason = "history has no legal linearization"
+                    out.histories_checked = len(distinct)
+                    return out
+            if next_config is None:
+                out.aborted = True
+                if event is not None and event.is_object_event:
+                    out.ok = False
+                    out.counterexample = hist
+                    out.reason = "object code aborted"
+                    out.histories_checked = len(distinct)
+                    return out
+                break
+            config = next_config
+            depth += 1
+    out.histories_checked = len(distinct)
+    return out
+
+
+def random_walk_instrumented(runner, walks: int = 256, seed: int = 0):
+    """Sampled instrumented-obligation check over one runner workload."""
+
+    from ..instrument.runner import InstrumentedRunResult
+
+    rng = random.Random(seed)
+    result = InstrumentedRunResult(engine="random-walk", exhaustive=False)
+    start = runner.initial_config(result)
+    if start is None:
+        result.ok = False
+        return result
+    limits = runner.limits
+
+    for _ in range(walks):
+        config, hist, depth = start, (), 0
+        while True:
+            result.nodes += 1
+            if depth >= limits.max_depth:
+                result.bounded = True
+                break
+            before = len(result.failures)
+            successors = runner._expand(config, hist, result)
+            if len(result.failures) > before and \
+                    len(result.failures) >= runner.max_failures:
+                result.ok = False
+                return result
+            live = []
+            for nxt, event in successors:
+                new_hist = hist + (event,) if event is not None else hist
+                if event is not None:
+                    result.histories.add(new_hist)
+                if nxt is not None:
+                    live.append((nxt, new_hist))
+            if not live:
+                break
+            config, hist = live[rng.randrange(len(live))]
+            depth += 1
+    result.ok = not result.failures
+    return result

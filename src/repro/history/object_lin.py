@@ -48,12 +48,22 @@ class ObjectLinResult:
     aborted: bool = False
     counterexample: Optional[Trace] = None
     reason: str = ""
+    #: Which engine produced this verdict; a non-exhaustive engine
+    #: (random-walk) can only report "no violation *found*", never a
+    #: verified bound — downstream reporting must keep them distinct.
+    engine: str = "sequential"
+    exhaustive: bool = True
+    from_cache: bool = False
 
     def __bool__(self) -> bool:
         return self.ok
 
     def summary(self) -> str:
-        status = "LINEARIZABLE" if self.ok else "NOT LINEARIZABLE"
+        if self.exhaustive:
+            status = "LINEARIZABLE" if self.ok else "NOT LINEARIZABLE"
+        else:
+            status = ("NO VIOLATION FOUND (sampled)" if self.ok
+                      else "NOT LINEARIZABLE")
         extra = " (bounded)" if self.bounded else ""
         msg = (f"{status}{extra}: {self.nodes_explored} product states, "
                f"{self.histories_checked} histories")
@@ -64,33 +74,48 @@ class ObjectLinResult:
         return msg
 
 
-def check_program_linearizable(program: Program, spec: OSpec,
-                               limits: Optional[Limits] = None,
-                               theta=None) -> ObjectLinResult:
-    """Product exploration: program configurations × speculation monitor."""
+#: A product-engine search node: (configuration, monitor state set,
+#: history for counterexample reporting, depth).  The dedup key is the
+#: first two components; the history is *not* part of it.
+ProductNode = Tuple[Config, StateSet, Trace, int]
 
-    limits = limits or Limits()
-    monitor = SpecMonitor(spec)
-    explorer = Explorer(program)
-    states0 = monitor.initial(theta)
-    out = ObjectLinResult(ok=True)
+
+def product_start_nodes(explorer: Explorer,
+                        states0: StateSet) -> List[ProductNode]:
+    """Deduplicated initial nodes of the product exploration."""
 
     seen: Set[Tuple[Config, StateSet]] = set()
-    # Stack entries carry the history for counterexample reporting only;
-    # it is *not* part of the dedup key.
-    stack: List[Tuple[Config, StateSet, Trace, int]] = []
+    nodes: List[ProductNode] = []
     for start in explorer.initial_nodes():
         if (start, states0) not in seen:
             seen.add((start, states0))
-            stack.append((start, states0, (), 0))
-    distinct_histories: Set[Trace] = {()}
+            nodes.append((start, states0, (), 0))
+    return nodes
+
+
+def product_run_from(explorer: Explorer, monitor: SpecMonitor,
+                     limits: Limits, frontier: List[ProductNode],
+                     node_budget: int, out: ObjectLinResult,
+                     distinct_histories: Set[Trace]) -> List[ProductNode]:
+    """Expand up to ``node_budget`` product nodes from ``frontier``.
+
+    Mutates ``out`` (and ``distinct_histories``) in place; returns the
+    spilled frontier when the budget runs out, or ``[]`` when the subtree
+    is exhausted *or* a violation was found (``out.ok`` turns False).
+    This is the unit of work the parallel engine distributes.
+    """
+
+    seen: Set[Tuple[Config, StateSet]] = {
+        (c, s) for c, s, _, _ in frontier}
+    stack: List[ProductNode] = list(frontier)
+    budget = out.nodes_explored + node_budget
 
     while stack:
         config, states, hist, depth = stack.pop()
         out.nodes_explored += 1
-        if out.nodes_explored > limits.max_nodes:
-            out.bounded = True
-            break
+        if out.nodes_explored > budget:
+            stack.append((config, states, hist, depth))
+            return stack
         if depth >= limits.max_depth:
             out.bounded = True
             continue
@@ -105,39 +130,75 @@ def check_program_linearizable(program: Program, spec: OSpec,
                     out.ok = False
                     out.counterexample = new_hist
                     out.reason = "history has no legal linearization"
-                    out.histories_checked = len(distinct_histories)
-                    return out
+                    return []
             if next_config is None:
                 out.aborted = True
                 if event is not None and event.is_object_event:
                     out.ok = False
                     out.counterexample = new_hist
                     out.reason = "object code aborted"
-                    out.histories_checked = len(distinct_histories)
-                    return out
+                    return []
                 continue
             key = (next_config, new_states)
             if key in seen:
                 continue
             seen.add(key)
             stack.append((next_config, new_states, new_hist, depth + 1))
+    return []
+
+
+def check_program_linearizable(program: Program, spec: OSpec,
+                               limits: Optional[Limits] = None,
+                               theta=None, engine=None) -> ObjectLinResult:
+    """Product exploration: program configurations × speculation monitor.
+
+    ``engine`` selects the exploration engine (see
+    :func:`repro.engine.resolve_engine`); the default is the exact
+    sequential search.
+    """
+
+    from ..engine.api import resolve_engine
+
+    spec_engine = resolve_engine(engine)
+    if not spec_engine.sequential or spec_engine.memo:
+        from ..engine.dispatch import dispatch_product_lin
+
+        return dispatch_product_lin(program, spec, limits, theta,
+                                    spec_engine)
+
+    limits = limits or Limits()
+    monitor = SpecMonitor(spec)
+    explorer = Explorer(program)
+    states0 = monitor.initial(theta)
+    out = ObjectLinResult(ok=True)
+    distinct_histories: Set[Trace] = {()}
+
+    spilled = product_run_from(
+        explorer, monitor, limits, product_start_nodes(explorer, states0),
+        limits.max_nodes, out, distinct_histories)
+    if spilled:
+        out.bounded = True
     out.histories_checked = len(distinct_histories)
     return out
 
 
 def check_program_linearizable_definitional(
         program: Program, spec: OSpec,
-        limits: Optional[Limits] = None) -> ObjectLinResult:
+        limits: Optional[Limits] = None, engine=None) -> ObjectLinResult:
     """The literal Definition-2 pipeline (baseline; exponentially slower).
 
     Collects the prefix-closed history set and checks each maximal history
-    by the Def-1 backtracking search.
+    by the Def-1 backtracking search.  ``engine`` selects how the history
+    set is collected; a random-walk collection makes the verdict
+    non-exhaustive (``exhaustive=False``).
     """
 
-    result = explore(program, limits)
+    result = explore(program, limits, engine=engine)
     out = ObjectLinResult(ok=True, bounded=result.bounded,
                           aborted=result.aborted,
-                          nodes_explored=result.nodes)
+                          nodes_explored=result.nodes,
+                          engine=result.engine,
+                          exhaustive=result.exhaustive)
     if result.aborted:
         out.ok = False
         out.reason = "some execution aborts (object or client fault)"
@@ -169,11 +230,14 @@ def check_object_linearizable(impl: ObjectImpl, spec: OSpec, menu: CallMenu,
                               threads: int = 2, ops_per_thread: int = 2,
                               limits: Optional[Limits] = None,
                               phi: Optional[RefMap] = None,
-                              definitional: bool = False) -> ObjectLinResult:
+                              definitional: bool = False,
+                              engine=None) -> ObjectLinResult:
     """Bounded ``Π ≼_φ Γ`` via the most-general client.
 
     When ``phi`` is given, the initial-state side condition ``φ(σ_o) = θ``
-    is verified first.
+    is verified first.  ``engine`` selects the exploration engine for the
+    product search (sequential / parallel / random-walk, optionally
+    memoized — see :mod:`repro.engine`).
     """
 
     if phi is not None:
@@ -190,5 +254,6 @@ def check_object_linearizable(impl: ObjectImpl, spec: OSpec, menu: CallMenu,
     program = mgc_program(impl, menu, threads=threads,
                           ops_per_thread=ops_per_thread)
     if definitional:
-        return check_program_linearizable_definitional(program, spec, limits)
-    return check_program_linearizable(program, spec, limits)
+        return check_program_linearizable_definitional(program, spec, limits,
+                                                       engine=engine)
+    return check_program_linearizable(program, spec, limits, engine=engine)

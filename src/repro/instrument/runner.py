@@ -159,9 +159,18 @@ class InstrumentedRunResult:
     nodes: int = 0
     bounded: bool = False
     histories: Set[Trace] = field(default_factory=set)
+    #: Engine provenance — a random-walk run only samples the state
+    #: space, so its "VERIFIED" means "no obligation violated on the
+    #: sampled paths" and is reported as such.
+    engine: str = "sequential"
+    exhaustive: bool = True
+    from_cache: bool = False
 
     def summary(self) -> str:
-        status = "VERIFIED" if self.ok else "FAILED"
+        if self.exhaustive:
+            status = "VERIFIED" if self.ok else "FAILED"
+        else:
+            status = "NO FAILURE FOUND (sampled)" if self.ok else "FAILED"
         extra = " (bounded)" if self.bounded else ""
         msg = (f"{status}{extra}: {self.nodes} instrumented states, "
                f"{len(self.histories)} histories")
@@ -179,7 +188,8 @@ class InstrumentedRunner:
                  invariant: Optional[Invariant] = None,
                  guarantee: Optional[Guarantee] = None,
                  max_failures: int = 1,
-                 history_complete: bool = False):
+                 history_complete: bool = False,
+                 engine=None):
         self.iobj = iobj
         self.menu = list(menu)
         for method, _arg in self.menu:
@@ -197,6 +207,7 @@ class InstrumentedRunner:
         # (needed by the instrumentation-preserves-behaviour experiment);
         # by default histories are diagnostic only.
         self.history_complete = history_complete
+        self.engine = engine
 
     # -- obligations ---------------------------------------------------------
 
@@ -230,17 +241,20 @@ class InstrumentedRunner:
 
     # -- exploration ---------------------------------------------------------
 
-    def run(self) -> InstrumentedRunResult:
-        result = InstrumentedRunResult()
+    def initial_config(self, result: InstrumentedRunResult
+                       ) -> Optional[IConfig]:
+        """The start configuration, or ``None`` when an initial-state
+        obligation (``φ(σ_o) = θ``, ``I`` on the initial Δ) already fails
+        — the failure is recorded in ``result``."""
+
         spec = self.iobj.spec
         if self.iobj.phi is not None:
             theta = self.iobj.phi.of(Store(self.iobj.initial_memory))
             if theta != spec.initial:
-                result.ok = False
                 result.failures.append(FailureRecord(
                     "refmap", f"φ(σ_o) = {theta!r} differs from Γ's initial "
                               f"abstract object {spec.initial!r}", ()))
-                return result
+                return None
         sigma_o = Store(self.iobj.initial_memory)
         delta0 = singleton_delta(Store(), spec.initial)
         idle = ThreadState((), None)
@@ -248,20 +262,57 @@ class InstrumentedRunner:
                         sigma_o, delta0)
         result.histories.add(())
         if not self._check_shared(result, None, (sigma_o, delta0), 0, ()):
+            return None
+        return start
+
+    def node_key(self, config: IConfig, hist: Trace):
+        """The search-node dedup key (config, plus the history when the
+        complete prefix-closed history set is requested)."""
+
+        return (config, hist) if self.history_complete else config
+
+    def run(self) -> InstrumentedRunResult:
+        from ..engine.api import resolve_engine
+
+        engine_spec = resolve_engine(self.engine)
+        if not engine_spec.sequential or engine_spec.memo:
+            from ..engine.dispatch import dispatch_instrumented
+
+            return dispatch_instrumented(self, engine_spec)
+
+        result = InstrumentedRunResult()
+        start = self.initial_config(result)
+        if start is None:
             result.ok = False
             return result
+        spilled = self.run_from([(start, (), 0)], self.limits.max_nodes,
+                                result)
+        if spilled:
+            result.bounded = True
+        result.ok = not result.failures
+        return result
 
-        def key(config, hist):
-            return (config, hist) if self.history_complete else config
+    def run_from(self, frontier: List[Tuple[IConfig, Trace, int]],
+                 node_budget: int, result: InstrumentedRunResult
+                 ) -> List[Tuple[IConfig, Trace, int]]:
+        """Expand up to ``node_budget`` nodes from ``frontier``.
 
-        seen = {key(start, ())}
-        stack: List[Tuple[IConfig, Trace, int]] = [(start, (), 0)]
+        Mutates ``result`` in place; returns the spilled frontier when
+        the budget runs out, ``[]`` when the subtree is exhausted or
+        ``max_failures`` failures were collected.  The parallel engine
+        distributes these calls across worker processes.
+        """
+
+        key = self.node_key
+        seen = {key(c, h) for c, h, _ in frontier}
+        stack: List[Tuple[IConfig, Trace, int]] = list(frontier)
+        budget = result.nodes + node_budget
         while stack:
             config, hist, depth = stack.pop()
             result.nodes += 1
-            if result.nodes > self.limits.max_nodes:
-                result.bounded = True
-                break
+            if result.nodes > budget:
+                stack.append((config, hist, depth))
+                return stack
             if depth >= self.limits.max_depth:
                 result.bounded = True
                 continue
@@ -277,9 +328,8 @@ class InstrumentedRunner:
                 seen.add(k)
                 stack.append((nxt, new_hist, depth + 1))
             if len(result.failures) >= self.max_failures:
-                break
-        result.ok = not result.failures
-        return result
+                return []
+        return []
 
     def _expand(self, config: IConfig, hist: Trace,
                 result: InstrumentedRunResult):
@@ -438,11 +488,12 @@ def verify_instrumented(iobj: InstrumentedObject, menu: CallMenu,
                         limits: Optional[Limits] = None,
                         invariant: Optional[Invariant] = None,
                         guarantee: Optional[Guarantee] = None,
-                        history_complete: bool = False
-                        ) -> InstrumentedRunResult:
+                        history_complete: bool = False,
+                        engine=None) -> InstrumentedRunResult:
     """Convenience wrapper around :class:`InstrumentedRunner`."""
 
     runner = InstrumentedRunner(iobj, menu, threads, ops_per_thread,
                                 limits, invariant, guarantee,
-                                history_complete=history_complete)
+                                history_complete=history_complete,
+                                engine=engine)
     return runner.run()

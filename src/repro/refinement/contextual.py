@@ -60,12 +60,17 @@ def check_clients_refinement(impl: ObjectImpl, spec: OSpec,
                              clients: Tuple[Stmt, ...],
                              limits: Optional[Limits] = None,
                              client_memory: Tuple[Tuple[str, int], ...] = (),
-                             private_client_vars: bool = False
-                             ) -> RefinementResult:
-    """Observable-trace inclusion for one fixed client vector."""
+                             private_client_vars: bool = False,
+                             engine=None) -> RefinementResult:
+    """Observable-trace inclusion for one fixed client vector.
+
+    ``engine`` selects the exploration engine for the *concrete* side —
+    the expensive one; the abstract side's state space is tiny and is
+    always explored sequentially.
+    """
 
     conc = concrete_observables(impl, clients, limits, client_memory,
-                                private_client_vars)
+                                private_client_vars, engine=engine)
     abst = abstract_observables(spec, clients, limits, client_memory,
                                 private_client_vars)
     out = RefinementResult(ok=True,
@@ -84,8 +89,8 @@ def check_contextual_refinement(impl: ObjectImpl, spec: OSpec,
                                 menu: CallMenu, threads: int = 2,
                                 ops_per_thread: int = 2,
                                 limits: Optional[Limits] = None,
-                                phi: Optional[RefMap] = None
-                                ) -> RefinementResult:
+                                phi: Optional[RefMap] = None,
+                                engine=None) -> RefinementResult:
     """Bounded ``Π ⊑_φ Γ`` with printing most-general clients."""
 
     if phi is not None:
@@ -104,7 +109,7 @@ def check_contextual_refinement(impl: ObjectImpl, spec: OSpec,
         for t in range(1, threads + 1)
     )
     return check_clients_refinement(impl, spec, clients, limits,
-                                    private_client_vars=True)
+                                    private_client_vars=True, engine=engine)
 
 
 @dataclass
@@ -129,12 +134,14 @@ class EquivalenceResult:
 def check_equivalence_instance(impl: ObjectImpl, spec: OSpec, menu: CallMenu,
                                threads: int = 2, ops_per_thread: int = 1,
                                limits: Optional[Limits] = None,
-                               phi: Optional[RefMap] = None
-                               ) -> EquivalenceResult:
+                               phi: Optional[RefMap] = None,
+                               engine=None) -> EquivalenceResult:
     """Check both sides of Theorem 4 on one object and workload."""
 
     lin = check_object_linearizable(impl, spec, menu, threads,
-                                    ops_per_thread, limits, phi)
+                                    ops_per_thread, limits, phi,
+                                    engine=engine)
     ref = check_contextual_refinement(impl, spec, menu, threads,
-                                      ops_per_thread, limits, phi)
+                                      ops_per_thread, limits, phi,
+                                      engine=engine)
     return EquivalenceResult(lin, ref)

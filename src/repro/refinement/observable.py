@@ -33,11 +33,12 @@ class ObservedBehaviour:
 def concrete_observables(impl: ObjectImpl, clients: Tuple[Stmt, ...],
                          limits: Optional[Limits] = None,
                          client_memory: Tuple[Tuple[str, int], ...] = (),
-                         private_client_vars: bool = False) -> ObservedBehaviour:
+                         private_client_vars: bool = False,
+                         engine=None) -> ObservedBehaviour:
     """``O[[let Π in C1 ∥ ... ∥ Cn]]`` up to the exploration bound."""
 
     program = Program(impl, clients, client_memory, private_client_vars)
-    result = explore(program, limits)
+    result = explore(program, limits, engine=engine)
     return ObservedBehaviour(result.observables, result.aborted,
                              result.bounded, result.nodes)
 

@@ -19,7 +19,7 @@ so expanding each such node once is complete.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import BoundExceeded
 from ..lang.program import ObjectImpl, Program
@@ -58,6 +58,11 @@ class Limits:
     max_nodes: int = 200_000
 
 
+#: A search node: (configuration, history so far, observable trace so
+#: far, depth).  The dedup key is the first three components.
+ExploreNode = Tuple[Config, "Trace", "Trace", int]
+
+
 @dataclass
 class ExplorationResult:
     histories: Set[Trace] = field(default_factory=set)
@@ -66,6 +71,13 @@ class ExplorationResult:
     bounded: bool = False
     nodes: int = 0
     terminal_configs: Set[Config] = field(default_factory=set)
+    #: Which engine produced this result ("sequential", "parallel",
+    #: "random-walk"); results from non-exhaustive engines must never be
+    #: read as exhaustive verdicts.
+    engine: str = "sequential"
+    exhaustive: bool = True
+    #: True when the result was served from the persistent memo cache.
+    from_cache: bool = False
 
     def add_prefixes(self, trace: Trace) -> None:
         """Record all prefixes of an observable trace (prefix closure)."""
@@ -107,26 +119,52 @@ class Explorer:
             configs = nxt
         return configs
 
-    def run(self) -> ExplorationResult:
-        result = ExplorationResult()
-        limits = self.limits
-        # Node = (config, history, observable); depth tracked separately so
-        # revisits through shorter paths don't defeat deduplication.
+    def start_nodes(self) -> List[ExploreNode]:
+        """The deduplicated initial search nodes."""
+
+        nodes: List[ExploreNode] = []
         seen: Set[Tuple[Config, Trace, Trace]] = set()
-        stack: List[Tuple[Config, Trace, Trace, int]] = []
         for start in self.initial_nodes():
             if (start, (), ()) not in seen:
                 seen.add((start, (), ()))
-                stack.append((start, (), (), 0))
+                nodes.append((start, (), (), 0))
+        return nodes
+
+    def run(self) -> ExplorationResult:
+        result = ExplorationResult()
         result.histories.add(())
         result.observables.add(())
+        spilled = self.run_from(self.start_nodes(), self.limits.max_nodes,
+                                result)
+        if spilled:
+            result.bounded = True
+        return result
+
+    def run_from(self, frontier: Sequence[ExploreNode], node_budget: int,
+                 result: ExplorationResult) -> List[ExploreNode]:
+        """Expand up to ``node_budget`` nodes starting from ``frontier``.
+
+        Mutates ``result`` in place and returns the *spilled* frontier —
+        the nodes left unexpanded when the budget ran out (empty when the
+        subtree was exhausted).  This is the unit of work the parallel
+        engine distributes; the sequential :meth:`run` is a single call
+        with the full node budget.
+        """
+
+        limits = self.limits
+        # Node = (config, history, observable); depth tracked separately so
+        # revisits through shorter paths don't defeat deduplication.
+        seen: Set[Tuple[Config, Trace, Trace]] = {
+            (c, h, o) for c, h, o, _ in frontier}
+        stack: List[ExploreNode] = list(frontier)
+        budget = result.nodes + node_budget
 
         while stack:
             config, hist, obs, depth = stack.pop()
             result.nodes += 1
-            if result.nodes > limits.max_nodes:
-                result.bounded = True
-                break
+            if result.nodes > budget:
+                stack.append((config, hist, obs, depth))
+                return stack
             successors = self._expand(config)
             if not successors:
                 # Quiescent or deadlocked: record the terminal trace.
@@ -156,7 +194,7 @@ class Explorer:
                     continue
                 seen.add(key)
                 stack.append((next_config, new_hist, new_obs, depth + 1))
-        return result
+        return []
 
     def _expand(self, config: Config) -> List[Tuple[Optional[Config], Optional[Event]]]:
         out: List[Tuple[Optional[Config], Optional[Event]]] = []
@@ -185,7 +223,24 @@ class Explorer:
         return out
 
 
-def explore(program: Program, limits: Optional[Limits] = None) -> ExplorationResult:
-    """Convenience wrapper: explore ``program`` and return the result."""
+def explore(program: Program, limits: Optional[Limits] = None,
+            engine=None) -> ExplorationResult:
+    """Explore ``program`` with the selected engine.
 
-    return Explorer(program, limits).run()
+    ``engine`` is anything :func:`repro.engine.resolve_engine` accepts:
+    ``None``/``"sequential"`` (default, the exact single-process search),
+    ``"parallel"`` (work-stealing multiprocess driver; same history and
+    observable sets), ``"random-walk"`` (seeded sampling; result carries
+    ``exhaustive=False``), or an :class:`repro.engine.EngineSpec`.
+    """
+
+    # Imported lazily: repro.engine builds on this module.
+    from ..engine.api import resolve_engine
+
+    spec = resolve_engine(engine)
+    if spec.sequential and not spec.memo:
+        return Explorer(program, limits).run()
+
+    from ..engine.dispatch import dispatch_explore
+
+    return dispatch_explore(program, limits, spec)

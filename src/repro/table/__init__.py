@@ -6,10 +6,11 @@ from .table1 import (
     build_table1,
     check_feature_matrix,
     render_table1,
+    table1_json,
     verify_row,
 )
 
 __all__ = [
     "PAPER_TABLE1", "Table1Row", "build_table1", "check_feature_matrix",
-    "render_table1", "verify_row",
+    "render_table1", "table1_json", "verify_row",
 ]

@@ -29,16 +29,27 @@ class Table1Row:
     report: Optional[VerificationReport]
     seconds: float
     workload: str
+    #: True when any exploration behind this verdict was cut by a bound
+    #: (max_depth / max_nodes) — the verdict then means "no violation
+    #: found up to the bound", not an exhaustive statement.
+    bounded: bool = False
+    #: Which exploration engine produced the verdict.
+    engine: str = "sequential"
+    #: False when a sampling engine (random-walk) produced the verdict.
+    exhaustive: bool = True
 
     @staticmethod
     def _tick(flag: bool) -> str:
         return "Y" if flag else ""
 
 
-def verify_row(name: str, limits: Optional[Limits] = None) -> Table1Row:
+def verify_row(name: str, limits: Optional[Limits] = None,
+               engine=None) -> Table1Row:
+    from ..engine.api import resolve_engine
+
     alg = get_algorithm(name)
     start = time.perf_counter()
-    report = alg.verify(limits=limits)
+    report = alg.verify(limits=limits, engine=engine)
     elapsed = time.perf_counter() - start
     return Table1Row(
         name=alg.name,
@@ -51,28 +62,43 @@ def verify_row(name: str, limits: Optional[Limits] = None) -> Table1Row:
         report=report,
         seconds=elapsed,
         workload=alg.workload.describe(),
+        bounded=(report.instrumented.bounded
+                 or report.linearizability.bounded),
+        engine=resolve_engine(engine).kind,
+        exhaustive=(report.instrumented.exhaustive
+                    and report.linearizability.exhaustive),
     )
 
 
 def build_table1(names: Optional[Sequence[str]] = None,
-                 limits: Optional[Limits] = None) -> List[Table1Row]:
-    return [verify_row(name, limits) for name in
+                 limits: Optional[Limits] = None,
+                 engine=None) -> List[Table1Row]:
+    return [verify_row(name, limits, engine=engine) for name in
             (names or algorithm_names())]
 
 
 def render_table1(rows: Sequence[Table1Row], timings: bool = True) -> str:
-    """Plain-text rendering in the paper's layout."""
+    """Plain-text rendering in the paper's layout.
+
+    A ``Bounded`` column reports whether a bound cut each row's
+    exploration; sampled (non-exhaustive) verdicts are marked
+    ``Y (sampled)`` in the Verified column.
+    """
 
     tick = Table1Row._tick
     header = ["Objects", "Helping", "Fut. LP", "Java Pkg", "HS Book",
-              "Verified"]
+              "Verified", "Bounded"]
     if timings:
         header.append("Time (s)")
     body = []
     for row in rows:
+        if row.verified:
+            verdict = "Y" if row.exhaustive else "Y (sampled)"
+        else:
+            verdict = "FAILED"
         line = [row.display_name, tick(row.helping), tick(row.future_lp),
-                tick(row.java_pkg), tick(row.hs_book),
-                "Y" if row.verified else "FAILED"]
+                tick(row.java_pkg), tick(row.hs_book), verdict,
+                tick(row.bounded)]
         if timings:
             line.append(f"{row.seconds:.1f}")
         body.append(line)
@@ -85,6 +111,28 @@ def render_table1(rows: Sequence[Table1Row], timings: bool = True) -> str:
     rule = "-+-".join("-" * w for w in widths)
     lines = [fmt(header), rule] + [fmt(r) for r in body]
     return "\n".join(lines)
+
+
+def table1_json(rows: Sequence[Table1Row]) -> List[dict]:
+    """Machine-readable rows (for benchmark artifacts and CI smoke)."""
+
+    return [
+        {
+            "name": row.name,
+            "display_name": row.display_name,
+            "helping": row.helping,
+            "future_lp": row.future_lp,
+            "java_pkg": row.java_pkg,
+            "hs_book": row.hs_book,
+            "verified": row.verified,
+            "bounded": row.bounded,
+            "engine": row.engine,
+            "exhaustive": row.exhaustive,
+            "seconds": row.seconds,
+            "workload": row.workload,
+        }
+        for row in rows
+    ]
 
 
 #: The paper's Table 1 feature matrix, for cross-checking our registry.

@@ -1,0 +1,239 @@
+"""Differential fuzzing of the linearizability checkers.
+
+Three independent deciders of Definition 1/2 exist in the repository:
+
+* :func:`repro.history.linearize.find_linearization` — the Wing & Gong
+  backtracking search with Lowe-style memoization;
+* :class:`repro.history.monitor.SpecMonitor` — the forward speculation
+  monitor that powers the Definition-2 product engine;
+* (here) a brute-force enumerator that tries *every* admissible
+  permutation of *every* completion of the history against Γ, with no
+  search-order cleverness and no memoization.
+
+On random small well-formed histories (≤ 3 threads, ≤ 4 operations) all
+three must agree exactly.  The generator deliberately draws return
+values that are frequently wrong, so both verdicts are well represented;
+the seeds are fixed, making every run identical.
+"""
+
+import itertools
+import random
+import zlib
+
+import pytest
+
+from repro.algorithms.specs import stack_spec
+from repro.history.linearize import find_linearization
+from repro.history.monitor import SpecMonitor
+from repro.history.wellformed import is_well_formed, operations_of
+from repro.semantics.events import InvokeEvent, ReturnEvent
+from repro.spec.gamma import MethodSpec, OSpec, deterministic
+
+CASES = 500
+MAX_THREADS = 3
+MAX_OPS = 4
+
+
+# ---------------------------------------------------------------------------
+# The brute-force reference decider
+# ---------------------------------------------------------------------------
+
+
+def brute_force_linearizable(history, spec, theta=None) -> bool:
+    """Permutation-enumerating Definition-2 check (reference oracle).
+
+    Enumerates every subset of pending operations to keep (completed
+    operations are always kept), every permutation of the kept
+    operations, filters the permutations that respect real-time order,
+    and simulates Γ along each — tracking the *set* of reachable
+    abstract objects so nondeterministic specifications are exact.
+    """
+
+    if not is_well_formed(history):
+        return False
+    ops = operations_of(history)
+    if any(op.aborted for op in ops):
+        return False
+    if any(op.method not in spec for op in ops):
+        return False
+    if theta is None:
+        theta = spec.initial
+
+    completed = [op for op in ops if not op.pending]
+    pending = [op for op in ops if op.pending]
+
+    def admissible(order) -> bool:
+        for a, b in itertools.combinations(order, 2):
+            # b is placed after a, so a's response must not follow b's
+            # invocation being already closed off: real-time order says
+            # b must precede a whenever b responded before a was invoked.
+            if b.res_index is not None and b.res_index < a.inv_index:
+                return False
+        return True
+
+    def legal(order) -> bool:
+        thetas = {theta}
+        for op in order:
+            gamma = spec.method(op.method)
+            thetas = {
+                theta2
+                for th in thetas
+                for ret, theta2 in gamma.results(op.arg, th)
+                if op.pending or ret == op.ret
+            }
+            if not thetas:
+                return False
+        return True
+
+    for keep in range(len(pending) + 1):
+        for extra in itertools.combinations(pending, keep):
+            chosen = completed + list(extra)
+            for order in itertools.permutations(chosen):
+                if admissible(order) and legal(order):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Specifications under test
+# ---------------------------------------------------------------------------
+
+
+def register_spec() -> OSpec:
+    """An atomic register over a handful of values."""
+
+    return OSpec(
+        {
+            "write": deterministic("write", lambda arg, th: (0, arg)),
+            "read": deterministic("read", lambda arg, th: (th, th)),
+        },
+        initial=0, name="register")
+
+
+def counter_spec() -> OSpec:
+    """A fetch-and-increment counter."""
+
+    return OSpec(
+        {
+            "inc": deterministic("inc", lambda arg, th: (th, th + 1)),
+            "get": deterministic("get", lambda arg, th: (th, th)),
+        },
+        initial=0, name="counter")
+
+
+def coin_spec() -> OSpec:
+    """A nondeterministic spec: ``flip`` may return 0 or 1 and stores
+    the outcome; exercises the set-of-θ branching of all three
+    checkers."""
+
+    def flip(arg, th):
+        return ((0, 0), (1, 1))
+
+    return OSpec(
+        {
+            "flip": MethodSpec("flip", flip),
+            "last": deterministic("last", lambda arg, th: (th, th)),
+        },
+        initial=0, name="coin")
+
+
+SPECS = {
+    "register": (register_spec(), ["write", "read"], [0, 1, 2]),
+    "counter": (counter_spec(), ["inc", "get"], [0, 1, 2, 3]),
+    "coin": (coin_spec(), ["flip", "last"], [0, 1]),
+    "stack": (stack_spec(), ["push", "pop"], [-1, 1, 2]),
+}
+
+
+# ---------------------------------------------------------------------------
+# History generation
+# ---------------------------------------------------------------------------
+
+
+def random_history(rng, methods, values):
+    """A random well-formed history: ≤ MAX_THREADS threads, ≤ MAX_OPS
+    operations, possibly-pending tails, frequently-wrong returns."""
+
+    n_threads = rng.randint(1, MAX_THREADS)
+    budget = rng.randint(1, MAX_OPS)
+    pending = {}  # thread -> invoked but not yet returned
+    events = []
+    while budget > 0 or pending:
+        t = rng.randint(1, n_threads)
+        if t in pending:
+            if rng.random() < 0.7:
+                events.append(ReturnEvent(t, rng.choice(values)))
+                del pending[t]
+            elif budget == 0 and rng.random() < 0.5:
+                # Leave this operation pending forever.
+                del pending[t]
+        elif budget > 0:
+            method = rng.choice(methods)
+            events.append(InvokeEvent(t, method, rng.choice(values)))
+            pending[t] = True
+            budget -= 1
+    return tuple(events)
+
+
+# ---------------------------------------------------------------------------
+# The differential harness
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec_name", sorted(SPECS))
+def test_checkers_agree_on_random_histories(spec_name):
+    spec, methods, values = SPECS[spec_name]
+    monitor = SpecMonitor(spec)
+    # zlib.crc32 is stable across processes (str hash is salted).
+    rng = random.Random(20130620 + zlib.crc32(spec_name.encode()))
+    verdicts = {True: 0, False: 0}
+    for case in range(CASES):
+        history = random_history(rng, methods, values)
+        assert is_well_formed(history)
+        brute = brute_force_linearizable(history, spec)
+        wing_gong = find_linearization(history, spec).ok
+        forward = monitor.accepts(history)
+        assert wing_gong == brute, (
+            f"{spec_name} case {case}: Wing-Gong={wing_gong} "
+            f"brute-force={brute} on {history}")
+        assert forward == brute, (
+            f"{spec_name} case {case}: monitor={forward} "
+            f"brute-force={brute} on {history}")
+        verdicts[brute] += 1
+    # The generator must exercise both verdicts, or the test is vacuous.
+    assert verdicts[True] > 0 and verdicts[False] > 0, verdicts
+
+
+def test_known_linearizable_history():
+    spec, _, _ = SPECS["register"]
+    h = (InvokeEvent(1, "write", 2), ReturnEvent(1, 0),
+         InvokeEvent(2, "read", 0), ReturnEvent(2, 2))
+    assert brute_force_linearizable(h, spec)
+    assert find_linearization(h, spec).ok
+    assert SpecMonitor(spec).accepts(h)
+
+
+def test_known_non_linearizable_history():
+    spec, _, _ = SPECS["register"]
+    # read of a value that was never written, after the write completed
+    h = (InvokeEvent(1, "write", 2), ReturnEvent(1, 0),
+         InvokeEvent(2, "read", 0), ReturnEvent(2, 1))
+    assert not brute_force_linearizable(h, spec)
+    assert not find_linearization(h, spec).ok
+    assert not SpecMonitor(spec).accepts(h)
+
+
+def test_pending_operation_may_take_effect_or_drop():
+    spec, _, _ = SPECS["register"]
+    # The pending write(1) must be allowed to linearize before the read.
+    h = (InvokeEvent(1, "write", 1),
+         InvokeEvent(2, "read", 0), ReturnEvent(2, 1))
+    assert brute_force_linearizable(h, spec)
+    assert find_linearization(h, spec).ok
+    assert SpecMonitor(spec).accepts(h)
+    # ... and to be dropped when its effect was not observed.
+    h2 = (InvokeEvent(1, "write", 1),
+          InvokeEvent(2, "read", 0), ReturnEvent(2, 0))
+    assert brute_force_linearizable(h2, spec)
+    assert find_linearization(h2, spec).ok
+    assert SpecMonitor(spec).accepts(h2)

@@ -1,0 +1,244 @@
+"""Property-based tests for the store/heap algebra and Δ operations.
+
+Hypothesis generates arbitrary stores, heap shapes, and dom-exact
+speculation sets and checks the algebraic laws the semantics relies on:
+
+* ``⊎`` (disjoint union) is commutative and associative with ``∅`` as
+  unit, and ``restrict`` / ``without`` are its frame residuals — the
+  algebra behind the assertion semantics of Fig. 8;
+* the deterministic allocator hands out fresh cells and ``dispose``
+  undoes it exactly;
+* the Δ-transitions of Fig. 11 (``lin``/``trylin``/invoke/return, the
+  ``commit`` filter) preserve ``DomExact`` and satisfy the fixpoint and
+  inverse laws the instrumented semantics assumes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assertions.patterns import (
+    ThreadDone,
+    ThreadIs,
+    commit_filter,
+    commit_p,
+    pattern,
+)
+from repro.instrument.state import (
+    delta_add_thread,
+    delta_lin,
+    delta_remove_thread,
+    delta_trylin,
+    dom_exact,
+    end_of,
+    op_of,
+)
+from repro.memory.heap import allocate, dispose, heap_cells, var_cells
+from repro.memory.store import Store
+from repro.spec.gamma import MethodSpec, OSpec, deterministic
+
+MAX_EXAMPLES = 200
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+keys = st.one_of(
+    st.sampled_from(["x", "y", "z", "Head", "Tail", "v1"]),
+    st.integers(min_value=1, max_value=24),
+)
+values = st.integers(min_value=-5, max_value=99)
+stores = st.dictionaries(keys, values, max_size=6).map(Store)
+
+
+@st.composite
+def disjoint_stores(draw, parts=2):
+    """``parts`` stores with pairwise-disjoint domains."""
+
+    pool = draw(st.dictionaries(keys, values, max_size=9))
+    assignment = draw(st.lists(
+        st.integers(min_value=0, max_value=parts - 1),
+        min_size=len(pool), max_size=len(pool)))
+    out = [dict() for _ in range(parts)]
+    for (k, v), i in zip(pool.items(), assignment):
+        out[i][k] = v
+    return tuple(Store(d) for d in out)
+
+
+# -- Δ strategies -----------------------------------------------------------
+
+#: γ's over θ = {v: n}: the domain of θ is preserved by every method, so
+#: dom-exactness is preservable at all (the property under test).
+def _flip(arg, th):
+    return ((0, th.set("v", 0)), (1, th.set("v", 1)))
+
+
+DELTA_SPEC = OSpec(
+    {
+        "inc": deterministic("inc", lambda arg, th: (th["v"], th.set("v", th["v"] + 1))),
+        "get": deterministic("get", lambda arg, th: (th["v"], th)),
+        "flip": MethodSpec("flip", _flip),
+    },
+    initial=Store({"v": 0}), name="delta-prop")
+
+abs_ops = st.one_of(
+    st.tuples(st.sampled_from(["inc", "get", "flip"]),
+              st.integers(0, 3)).map(lambda p: op_of(*p)),
+    st.integers(-2, 5).map(end_of),
+)
+
+
+@st.composite
+def dom_exact_deltas(draw):
+    """A non-empty, dom-exact Δ over a shared thread-id domain."""
+
+    tids = draw(st.sets(st.integers(min_value=1, max_value=3),
+                        min_size=1, max_size=3))
+    n_spec = draw(st.integers(min_value=1, max_value=3))
+    specs = set()
+    for _ in range(n_spec):
+        pending = Store({t: draw(abs_ops) for t in tids})
+        theta = Store({"v": draw(st.integers(0, 5))})
+        specs.add((pending, theta))
+    return frozenset(specs)
+
+
+# ---------------------------------------------------------------------------
+# Store algebra (Fig. 8's ⊎)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(disjoint_stores(parts=2))
+def test_union_commutative(pair):
+    a, b = pair
+    assert a.union(b) == b.union(a)
+    assert hash(a.union(b)) == hash(b.union(a))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(disjoint_stores(parts=3))
+def test_union_associative(triple):
+    a, b, c = triple
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(stores)
+def test_union_unit(s):
+    assert s.union(Store()) == s
+    assert Store().union(s) == s
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(disjoint_stores(parts=2))
+def test_frame_residuals(pair):
+    frame, rest = pair
+    whole = frame.union(rest)
+    # Removing the frame leaves exactly the rest, and restricting to the
+    # frame's domain recovers the frame: ⊎ loses no information.
+    assert whole.without(frame.keys()) == rest
+    assert whole.restrict(frame.keys()) == frame
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(stores, st.sets(keys, max_size=4))
+def test_restrict_without_partition(s, ks):
+    inside = {k for k in ks if k in s}
+    assert s.restrict(inside).union(s.without(ks)) == s
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(stores, keys, values)
+def test_set_remove_roundtrip(s, k, v):
+    updated = s.set(k, v)
+    assert updated[k] == v
+    assert updated.without([k]) == s.without([k])
+    if k not in s:
+        assert updated.remove(k) == s
+
+
+# ---------------------------------------------------------------------------
+# Heap allocation
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(stores, st.lists(values, min_size=1, max_size=3))
+def test_allocate_fresh_and_disposable(s, cells):
+    new, addr = allocate(s, tuple(cells))
+    # Freshness: no allocated cell collides with an existing binding.
+    for i in range(len(cells)):
+        assert (addr + i) not in s
+        assert new[addr + i] == cells[i]
+    # Determinism: allocation is a function of the store.
+    assert allocate(s, tuple(cells)) == (new, addr)
+    # dispose is the exact inverse.
+    freed = new
+    for i in range(len(cells)):
+        freed = dispose(freed, addr + i)
+    assert freed == s
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(stores)
+def test_heap_var_cells_partition(s):
+    cells = dict(heap_cells(s))
+    variables = dict(var_cells(s))
+    assert Store(cells).union(Store(variables)) == s
+
+
+# ---------------------------------------------------------------------------
+# Δ speculation operations (Fig. 7 / Fig. 11)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(dom_exact_deltas(), st.integers(1, 3))
+def test_delta_lin_preserves_dom_exact(delta, tid):
+    if tid not in next(iter(delta))[0]:
+        return
+    out = delta_lin(DELTA_SPEC, delta, tid)
+    assert out and dom_exact(out)
+    # After lin, thread tid has finished in *every* speculation.
+    assert all(pending[tid][0] == "end" for pending, _ in out)
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(dom_exact_deltas(), st.integers(1, 3))
+def test_delta_trylin_preserves_dom_exact_and_grows(delta, tid):
+    if tid not in next(iter(delta))[0]:
+        return
+    out = delta_trylin(DELTA_SPEC, delta, tid)
+    assert dom_exact(out)
+    assert delta <= out  # trylin keeps the unlinearized speculations
+    # Saturation: a second trylin of the same thread adds nothing.
+    assert delta_trylin(DELTA_SPEC, out, tid) == out
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(dom_exact_deltas(), st.integers(4, 6),
+       st.sampled_from(["inc", "get", "flip"]), st.integers(0, 3))
+def test_invoke_return_roundtrip(delta, tid, method, arg):
+    added = delta_add_thread(delta, tid, op_of(method, arg))
+    assert dom_exact(added)
+    assert delta_remove_thread(added, tid) == delta
+
+
+@settings(max_examples=MAX_EXAMPLES)
+@given(dom_exact_deltas(), st.integers(1, 3))
+def test_commit_filter_preserves_dom_exact(delta, tid):
+    if tid not in next(iter(delta))[0]:
+        return
+    # commit(t ↣ (end, _) ⊕ t ↣ (inc, _) ⊕ ...): match everything the
+    # generator can produce, branch by branch; kept ⊆ Δ must stay
+    # dom-exact whenever the filter succeeds.
+    assertion = commit_p(
+        pattern(ThreadDone(tid)),
+        pattern(ThreadIs(tid, "inc")),
+        pattern(ThreadIs(tid, "get")),
+        pattern(ThreadIs(tid, "flip")),
+    )
+    outcome = commit_filter(assertion, delta, lambda name: 0)
+    assert outcome.kept <= delta
+    if outcome.kept:
+        assert dom_exact(outcome.kept)
