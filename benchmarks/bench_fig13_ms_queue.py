@@ -15,6 +15,7 @@ pipeline, we probe the instrumentation design space:
 
 import pytest
 
+from conftest import BENCH_ENGINE
 from repro.algorithms import get_algorithm
 from repro.algorithms.ms_lock_free_queue import (
     DEQ_LOCALS,
@@ -39,7 +40,9 @@ LIMITS = Limits(max_depth=6000, max_nodes=3_000_000)
 
 def test_ms_queue_full_pipeline(benchmark):
     alg = get_algorithm("ms_lock_free_queue")
-    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    report = benchmark.pedantic(alg.verify,
+                                kwargs=dict(engine=BENCH_ENGINE),
+                                rounds=1, iterations=1)
     print("\n" + report.summary())
     assert report.ok
 
@@ -93,7 +96,8 @@ def test_eager_linself_verifies_without_memory_reuse(benchmark):
     def run():
         return verify_instrumented(
             iobj, [("enq", 1), ("enq", 2), ("deq", 0)],
-            threads=2, ops_per_thread=2, limits=LIMITS)
+            threads=2, ops_per_thread=2, limits=LIMITS,
+            engine=BENCH_ENGINE)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.ok
@@ -145,7 +149,8 @@ def test_unguarded_speculation_fails(benchmark):
     def run():
         return verify_instrumented(
             iobj, [("enq", 1), ("enq", 2), ("deq", 0)],
-            threads=2, ops_per_thread=2, limits=LIMITS)
+            threads=2, ops_per_thread=2, limits=LIMITS,
+            engine=BENCH_ENGINE)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert not res.ok
@@ -172,7 +177,7 @@ def test_tail_helping_does_not_change_abstraction(benchmark):
 
         res = verify_instrumented(
             alg.instrumented, alg.workload.menu, 2, 2, LIMITS,
-            guarantee=guarantee)
+            guarantee=guarantee, engine=BENCH_ENGINE)
         return res, seen
 
     res, seen = benchmark.pedantic(check, rounds=1, iterations=1)
@@ -183,5 +188,7 @@ def test_dglm_variant_verifies(benchmark):
     """The DGLM queue — same spec, Head-first discipline — also passes."""
 
     alg = get_algorithm("dglm_queue")
-    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    report = benchmark.pedantic(alg.verify,
+                                kwargs=dict(engine=BENCH_ENGINE),
+                                rounds=1, iterations=1)
     assert report.ok

@@ -18,6 +18,7 @@ Besides the full pipeline we check Sec. 6.3's specific observations:
 
 import pytest
 
+from conftest import BENCH_ENGINE
 from repro.algorithms import get_algorithm
 from repro.algorithms.ccas import (
     CCAS_LOCALS,
@@ -49,14 +50,18 @@ MENU = [("CCAS", pack2(0, 1)), ("CCAS", pack2(1, 2)), ("SetFlag", 0)]
 
 def test_ccas_full_pipeline(benchmark):
     alg = get_algorithm("ccas")
-    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    report = benchmark.pedantic(alg.verify,
+                                kwargs=dict(engine=BENCH_ENGINE),
+                                rounds=1, iterations=1)
     print("\n" + report.summary())
     assert report.ok
 
 
 def test_rdcss_full_pipeline(benchmark):
     alg = get_algorithm("rdcss")
-    report = benchmark.pedantic(alg.verify, rounds=1, iterations=1)
+    report = benchmark.pedantic(alg.verify,
+                                kwargs=dict(engine=BENCH_ENGINE),
+                                rounds=1, iterations=1)
     print("\n" + report.summary())
     assert report.ok
 
@@ -134,7 +139,8 @@ def test_commit_never_fails_despite_interference(benchmark):
     alg = get_algorithm("ccas")
 
     def run():
-        return verify_instrumented(alg.instrumented, MENU, 2, 2, LIMITS)
+        return verify_instrumented(alg.instrumented, MENU, 2, 2, LIMITS,
+                                   engine=BENCH_ENGINE)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert res.ok
@@ -148,7 +154,8 @@ def test_unguarded_trylin_fails(benchmark):
     iobj = _build(_ccas_variant(guarded_trylin=False, speculate=True))
 
     def run():
-        return verify_instrumented(iobj, MENU, 2, 2, LIMITS)
+        return verify_instrumented(iobj, MENU, 2, 2, LIMITS,
+                                   engine=BENCH_ENGINE)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert not res.ok
@@ -162,7 +169,8 @@ def test_no_speculation_fails(benchmark):
     iobj = _build(_ccas_variant(guarded_trylin=True, speculate=False))
 
     def run():
-        return verify_instrumented(iobj, MENU, 2, 2, LIMITS)
+        return verify_instrumented(iobj, MENU, 2, 2, LIMITS,
+                                   engine=BENCH_ENGINE)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     assert not res.ok

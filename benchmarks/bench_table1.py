@@ -12,6 +12,7 @@ distinguish exhaustive verdicts from bound-cut or sampled ones.
 
 import pytest
 
+from conftest import BENCH_ENGINE
 from repro.algorithms import algorithm_names
 from repro.table import (
     Table1Row,
@@ -27,12 +28,19 @@ _rows = {}
 @pytest.mark.parametrize("name", algorithm_names())
 def test_table1_row(benchmark, name):
     row = benchmark.pedantic(verify_row, args=(name,),
+                             kwargs=dict(engine=BENCH_ENGINE),
                              rounds=1, iterations=1)
     _rows[name] = row
     benchmark.extra_info["bounded"] = row.bounded
     benchmark.extra_info["engine"] = row.engine
     benchmark.extra_info["exhaustive"] = row.exhaustive
     benchmark.extra_info["workload"] = row.workload
+    benchmark.extra_info["reduce"] = row.reduce
+    benchmark.extra_info["nodes"] = row.nodes
+    benchmark.extra_info["nodes_per_sec"] = round(row.nodes_per_sec, 1)
+    benchmark.extra_info["por_pruned"] = row.por_pruned
+    benchmark.extra_info["sym_merged"] = row.sym_merged
+    benchmark.extra_info["dedup_hit_rate"] = round(row.dedup_hit_rate, 4)
     assert row.verified, row.report.summary()
     assert not row.report.instrumented.bounded
     assert not row.report.linearizability.bounded

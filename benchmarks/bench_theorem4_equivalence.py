@@ -8,6 +8,7 @@ agree, instance-checking the equivalence theorem in both directions.
 
 import pytest
 
+from conftest import BENCH_ENGINE
 from repro.algorithms import get_algorithm
 from repro.algorithms.base import Workload
 from repro.algorithms.counter_nonatomic import (
@@ -27,7 +28,7 @@ def test_e4_counterexample_fails_both_ways(benchmark):
         check_equivalence_instance,
         args=(racy_counter(), counter_spec(), [("inc", 0)]),
         kwargs=dict(threads=2, ops_per_thread=1, limits=LIMITS,
-                    phi=counter_phi()),
+                    phi=counter_phi(), engine=BENCH_ENGINE),
         rounds=1, iterations=1)
     assert not res.linearizable.ok
     assert not res.refines.ok
@@ -39,7 +40,7 @@ def test_e4_atomic_counter_passes_both_ways(benchmark):
         check_equivalence_instance,
         args=(atomic_counter(), counter_spec(), [("inc", 0)]),
         kwargs=dict(threads=2, ops_per_thread=2, limits=LIMITS,
-                    phi=counter_phi()),
+                    phi=counter_phi(), engine=BENCH_ENGINE),
         rounds=1, iterations=1)
     assert res.linearizable.ok and res.refines.ok and res.consistent
 
@@ -64,7 +65,7 @@ def test_e5_theorem4_agreement(benchmark, name):
         check_equivalence_instance,
         args=(alg.impl, alg.spec, alg.workload.menu),
         kwargs=dict(threads=threads, ops_per_thread=ops, limits=LIMITS,
-                    phi=alg.phi),
+                    phi=alg.phi, engine=BENCH_ENGINE),
         rounds=1, iterations=1)
     assert res.consistent, res.summary()
     assert res.linearizable.ok and res.refines.ok
@@ -94,7 +95,8 @@ def test_e5_broken_variant_agreement(benchmark):
     res = benchmark.pedantic(
         check_equivalence_instance,
         args=(impl, stack_spec(), [("push", 1), ("push", 2), ("pop", 0)]),
-        kwargs=dict(threads=2, ops_per_thread=2, limits=LIMITS),
+        kwargs=dict(threads=2, ops_per_thread=2, limits=LIMITS,
+                    engine=BENCH_ENGINE),
         rounds=1, iterations=1)
     assert res.consistent, res.summary()
     assert not res.linearizable.ok and not res.refines.ok

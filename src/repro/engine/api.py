@@ -29,6 +29,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from ..errors import ReproError
+from ..reduce.policy import DEFAULT_REDUCE, REDUCE_MODES
 
 SEQUENTIAL = "sequential"
 PARALLEL = "parallel"
@@ -55,11 +56,22 @@ class EngineSpec:
     #: Node budget after which a parallel worker spills the rest of its
     #: subtree back to the shared frontier (work-stealing granularity).
     spill_nodes: int = 10_000
+    #: State-space reductions (:mod:`repro.reduce`): ``"none"``,
+    #: ``"por"`` (partial-order reduction + hash-consing) or
+    #: ``"por+sym"`` (adds address-symmetry canonicalization).  Default
+    #: on for sequential and parallel; each program's static eligibility
+    #: filters the mode down to what is provably sound for it, so the
+    #: explored history/observable sets never change.
+    reduce: str = DEFAULT_REDUCE
 
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ReproError(
                 f"unknown engine kind {self.kind!r}; known: {KINDS}")
+        if self.reduce not in REDUCE_MODES:
+            raise ReproError(
+                f"unknown reduction mode {self.reduce!r}; "
+                f"known: {REDUCE_MODES}")
 
     @property
     def sequential(self) -> bool:
@@ -85,6 +97,8 @@ class EngineSpec:
             bits.append(f"seed={self.seed}")
         if self.memo:
             bits.append("memo")
+        if self.reduce != DEFAULT_REDUCE:
+            bits.append(f"reduce={self.reduce}")
         return ",".join(bits)
 
 
@@ -102,12 +116,25 @@ def resolve_engine(engine: Engine) -> EngineSpec:
         return engine
     if isinstance(engine, str):
         memo = False
+        reduce = DEFAULT_REDUCE
         kind = engine
-        # "parallel+memo" / "sequential+memo" convenience spellings.
-        if kind.endswith("+memo"):
-            memo = True
-            kind = kind[: -len("+memo")]
-        return EngineSpec(kind=kind, memo=memo)
+        # Suffix spellings: "+memo" toggles the cache, "+noreduce" /
+        # "+por" pick a reduction mode ("parallel+memo+noreduce", ...).
+        changed = True
+        while changed:
+            changed = True
+            if kind.endswith("+memo"):
+                memo = True
+                kind = kind[: -len("+memo")]
+            elif kind.endswith("+noreduce"):
+                reduce = "none"
+                kind = kind[: -len("+noreduce")]
+            elif kind.endswith("+por"):
+                reduce = "por"
+                kind = kind[: -len("+por")]
+            else:
+                changed = False
+        return EngineSpec(kind=kind, memo=memo, reduce=reduce)
     raise ReproError(f"cannot interpret engine argument {engine!r}")
 
 

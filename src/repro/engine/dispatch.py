@@ -39,6 +39,18 @@ def _rw_extras(spec: EngineSpec) -> tuple:
     return ()
 
 
+def _reduce_extras(spec: EngineSpec) -> tuple:
+    """Cache-key ingredient for the reduction mode.
+
+    Reduction preserves the history/observable *sets* and every verdict,
+    but changes node counts, terminal-configuration representatives and
+    the perf counters carried by results — so reduced and unreduced runs
+    must not share a memo entry.
+    """
+
+    return ("reduce", spec.reduce)
+
+
 def _callable_id(obj) -> Optional[str]:
     """A stable name for a verdict-relevant callable (or ``None``)."""
 
@@ -83,7 +95,7 @@ def dispatch_explore(program, limits, spec: EngineSpec):
 
     limits = limits or Limits()
     cache, key, hit = _memo_lookup(spec, "explore", program, limits,
-                                   _rw_extras(spec))
+                                   _rw_extras(spec) + _reduce_extras(spec))
     if hit is not None:
         return hit
 
@@ -91,14 +103,16 @@ def dispatch_explore(program, limits, spec: EngineSpec):
         from .random_walk import random_walk_explore
 
         result = random_walk_explore(program, limits,
-                                     walks=spec.walks, seed=spec.seed)
+                                     walks=spec.walks, seed=spec.seed,
+                                     reduce=spec.reduce)
     elif spec.kind == PARALLEL:
         from .parallel import ExploreProblem, run_parallel
 
-        result = run_parallel(ExploreProblem(program, limits),
+        result = run_parallel(ExploreProblem(program, limits,
+                                             reduce=spec.reduce),
                               spec.effective_workers(), spec.spill_nodes)
     else:
-        result = Explorer(program, limits).run()
+        result = Explorer(program, limits, reduce=spec.reduce).run()
 
     _memo_store(cache, key, result)
     return result
@@ -117,7 +131,7 @@ def dispatch_product_lin(program, ospec, limits, theta, spec: EngineSpec):
     limits = limits or Limits()
     problem_key = (program, ospec, theta)
     cache, key, hit = _memo_lookup(spec, "product-lin", problem_key, limits,
-                                   _rw_extras(spec))
+                                   _rw_extras(spec) + _reduce_extras(spec))
     if hit is not None:
         return hit
 
@@ -126,21 +140,23 @@ def dispatch_product_lin(program, ospec, limits, theta, spec: EngineSpec):
 
         result = random_walk_lin(program, ospec, limits,
                                  walks=spec.walks, seed=spec.seed,
-                                 theta=theta)
+                                 theta=theta, reduce=spec.reduce)
     elif spec.kind == PARALLEL:
         from .parallel import ProductLinProblem, run_parallel
 
         result = run_parallel(ProductLinProblem(program, ospec, limits,
-                                                theta=theta),
+                                                theta=theta,
+                                                reduce=spec.reduce),
                               spec.effective_workers(), spec.spill_nodes)
     else:
-        result = _sequential_product_lin(program, ospec, limits, theta)
+        result = _sequential_product_lin(program, ospec, limits, theta,
+                                         reduce=spec.reduce)
 
     _memo_store(cache, key, result)
     return result
 
 
-def _sequential_product_lin(program, ospec, limits, theta):
+def _sequential_product_lin(program, ospec, limits, theta, reduce=None):
     """The exact sequential product search (memoized entry point)."""
 
     from ..history.monitor import SpecMonitor
@@ -152,9 +168,10 @@ def _sequential_product_lin(program, ospec, limits, theta):
     from ..semantics.scheduler import Explorer
 
     monitor = SpecMonitor(ospec)
-    explorer = Explorer(program)
+    explorer = Explorer(program, reduce=reduce)
     states0 = monitor.initial(theta)
     out = ObjectLinResult(ok=True)
+    out.reduce = explorer.policy.effective
     distinct_histories = {()}
     spilled = product_run_from(
         explorer, monitor, limits, product_start_nodes(explorer, states0),

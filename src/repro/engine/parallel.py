@@ -175,21 +175,25 @@ class ParallelDriver:
 class ExploreProblem:
     """Plain interleaving exploration (:class:`repro.semantics.scheduler.Explorer`)."""
 
-    def __init__(self, program, limits):
+    def __init__(self, program, limits, reduce=None):
         from ..semantics.scheduler import Explorer
 
-        self.explorer = Explorer(program, limits)
+        self.explorer = Explorer(program, limits, reduce=reduce)
         self.max_nodes = self.explorer.limits.max_nodes
         # Canonical-digest view of terminal configs: Config equality is
         # statement-identity-based and does not survive pickling, so the
         # parent dedups terminals structurally to keep cardinalities
-        # equal to the sequential engine's.
+        # equal to the sequential engine's.  (Under reduction, workers
+        # explore *canonical* representatives — the canonicalization walk
+        # is deterministic, so every worker picks the same one and the
+        # digests still line up with the sequential engine's.)
         self._terminal_digests = set()
 
     def new_accumulator(self):
         from ..semantics.scheduler import ExplorationResult
 
         acc = ExplorationResult(engine="parallel")
+        acc.reduce = self.explorer.policy.effective
         acc.histories.add(())
         acc.observables.add(())
         return acc
@@ -212,6 +216,11 @@ class ExploreProblem:
         acc.aborted = acc.aborted or partial.aborted
         acc.bounded = acc.bounded or partial.bounded
         acc.nodes += partial.nodes
+        acc.por_pruned += partial.por_pruned
+        acc.sym_merged += partial.sym_merged
+        acc.dedup_hits += partial.dedup_hits
+        acc.dedup_lookups += partial.dedup_lookups
+        acc.elapsed += partial.elapsed
         for config in partial.terminal_configs:
             digest = canonical_digest(config)
             if digest not in self._terminal_digests:
@@ -237,13 +246,13 @@ class ExploreProblem:
 class ProductLinProblem:
     """The Definition-2 product engine (configurations × monitor)."""
 
-    def __init__(self, program, spec, limits, theta=None):
+    def __init__(self, program, spec, limits, theta=None, reduce=None):
         from ..history.monitor import SpecMonitor
         from ..semantics.scheduler import Explorer, Limits
 
         self.limits = limits or Limits()
         self.monitor = SpecMonitor(spec)
-        self.explorer = Explorer(program)
+        self.explorer = Explorer(program, reduce=reduce)
         self.states0 = self.monitor.initial(theta)
         self.max_nodes = self.limits.max_nodes
         self._distinct_histories = {()}
@@ -251,7 +260,9 @@ class ProductLinProblem:
     def new_accumulator(self):
         from ..history.object_lin import ObjectLinResult
 
-        return ObjectLinResult(ok=True, engine="parallel")
+        acc = ObjectLinResult(ok=True, engine="parallel")
+        acc.reduce = self.explorer.policy.effective
+        return acc
 
     def roots(self):
         from ..history.object_lin import product_start_nodes
@@ -273,6 +284,11 @@ class ProductLinProblem:
         acc.nodes_explored += partial.nodes_explored
         acc.bounded = acc.bounded or partial.bounded
         acc.aborted = acc.aborted or partial.aborted
+        acc.por_pruned += partial.por_pruned
+        acc.sym_merged += partial.sym_merged
+        acc.dedup_hits += partial.dedup_hits
+        acc.dedup_lookups += partial.dedup_lookups
+        acc.elapsed += partial.elapsed
         if not partial.ok and acc.ok:
             acc.ok = False
             acc.counterexample = partial.counterexample

@@ -33,14 +33,21 @@ from ..semantics.scheduler import (
 
 
 def random_walk_explore(program: Program, limits: Optional[Limits] = None,
-                        walks: int = 256, seed: int = 0
+                        walks: int = 256, seed: int = 0,
+                        reduce: Optional[str] = None
                         ) -> ExplorationResult:
-    """Sample ``walks`` executions; returns a partial exploration result."""
+    """Sample ``walks`` executions; returns a partial exploration result.
 
-    explorer = Explorer(program, limits)
+    Walks sample paths of the (possibly reduced) exploration graph; the
+    reduced graph's paths reach exactly the same history/observable sets,
+    so the under-approximation guarantee is unchanged.
+    """
+
+    explorer = Explorer(program, limits, reduce=reduce)
     limits = explorer.limits
     rng = random.Random(seed)
     result = ExplorationResult(engine="random-walk", exhaustive=False)
+    result.reduce = explorer.policy.effective
     result.histories.add(())
     result.observables.add(())
     starts = explorer.start_nodes()
@@ -77,7 +84,8 @@ def random_walk_explore(program: Program, limits: Optional[Limits] = None,
 
 
 def random_walk_lin(program: Program, spec, limits: Optional[Limits] = None,
-                    walks: int = 256, seed: int = 0, theta=None):
+                    walks: int = 256, seed: int = 0, theta=None,
+                    reduce: Optional[str] = None):
     """Sampled Definition-2 check: walk the product graph, monitor Δ.
 
     A violation found is real; ``ok=True`` only means no violation was
@@ -87,11 +95,12 @@ def random_walk_lin(program: Program, spec, limits: Optional[Limits] = None,
     from ..history.monitor import SpecMonitor
     from ..history.object_lin import ObjectLinResult
 
-    explorer = Explorer(program)
+    explorer = Explorer(program, reduce=reduce)
     limits = limits or Limits()
     monitor = SpecMonitor(spec)
     rng = random.Random(seed)
     out = ObjectLinResult(ok=True, engine="random-walk", exhaustive=False)
+    out.reduce = explorer.policy.effective
     distinct = {()}
     starts = explorer.initial_nodes()
     if not starts:

@@ -54,6 +54,24 @@ class ObjectLinResult:
     engine: str = "sequential"
     exhaustive: bool = True
     from_cache: bool = False
+    #: Reduction mode actually in force and its perf counters (see
+    #: :class:`repro.semantics.scheduler.ExplorationResult`).
+    reduce: str = "none"
+    por_pruned: int = 0
+    sym_merged: int = 0
+    dedup_hits: int = 0
+    dedup_lookups: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes_explored / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        if self.dedup_lookups <= 0:
+            return 0.0
+        return self.dedup_hits / self.dedup_lookups
 
     def __bool__(self) -> bool:
         return self.ok
@@ -84,9 +102,15 @@ def product_start_nodes(explorer: Explorer,
                         states0: StateSet) -> List[ProductNode]:
     """Deduplicated initial nodes of the product exploration."""
 
+    from ..reduce import canonicalize_config
+
     seen: Set[Tuple[Config, StateSet]] = set()
     nodes: List[ProductNode] = []
     for start in explorer.initial_nodes():
+        if explorer.policy.sym:
+            start, _changed = canonicalize_config(start, Store)
+        if explorer.interner is not None:
+            start = explorer.interner.config(start)
         if (start, states0) not in seen:
             seen.add((start, states0))
             nodes.append((start, states0, (), 0))
@@ -103,48 +127,79 @@ def product_run_from(explorer: Explorer, monitor: SpecMonitor,
     spilled frontier when the budget runs out, or ``[]`` when the subtree
     is exhausted *or* a violation was found (``out.ok`` turns False).
     This is the unit of work the parallel engine distributes.
+
+    Accounting is exact: a node is charged only when actually expanded,
+    so spilled frontier nodes are not double-counted across resume
+    cycles (``out.nodes_explored`` equals the expansions performed).
     """
+
+    from time import perf_counter
 
     seen: Set[Tuple[Config, StateSet]] = {
         (c, s) for c, s, _, _ in frontier}
     stack: List[ProductNode] = list(frontier)
-    budget = out.nodes_explored + node_budget
+    expanded_here = 0
+    pruned0, merged0 = explorer.por_pruned, explorer.sym_merged
+    started = perf_counter()
 
-    while stack:
-        config, states, hist, depth = stack.pop()
-        out.nodes_explored += 1
-        if out.nodes_explored > budget:
-            stack.append((config, states, hist, depth))
-            return stack
-        if depth >= limits.max_depth:
-            out.bounded = True
-            continue
-        for next_config, event in explorer._expand(config):
-            new_states = states
-            new_hist = hist
-            if event is not None and event.is_object_event:
-                new_states = monitor.step(states, event)
-                new_hist = hist + (event,)
-                distinct_histories.add(new_hist)
-                if not new_states:
-                    out.ok = False
-                    out.counterexample = new_hist
-                    out.reason = "history has no legal linearization"
-                    return []
-            if next_config is None:
-                out.aborted = True
-                if event is not None and event.is_object_event:
-                    out.ok = False
-                    out.counterexample = new_hist
-                    out.reason = "object code aborted"
-                    return []
+    try:
+        while stack:
+            if expanded_here >= node_budget:
+                return stack
+            config, states, hist, depth = stack.pop()
+            expanded_here += 1
+            out.nodes_explored += 1
+            if depth >= limits.max_depth:
+                out.bounded = True
                 continue
-            key = (next_config, new_states)
-            if key in seen:
-                continue
-            seen.add(key)
-            stack.append((next_config, new_states, new_hist, depth + 1))
-    return []
+            successors = explorer._expand(config)
+            reduced = explorer.last_expand_reduced
+            while True:
+                fresh = 0
+                for next_config, event in successors:
+                    new_states = states
+                    new_hist = hist
+                    if event is not None and event.is_object_event:
+                        new_states = monitor.step(states, event)
+                        new_hist = hist + (event,)
+                        distinct_histories.add(new_hist)
+                        if not new_states:
+                            out.ok = False
+                            out.counterexample = new_hist
+                            out.reason = "history has no legal linearization"
+                            return []
+                    if next_config is None:
+                        out.aborted = True
+                        if event is not None and event.is_object_event:
+                            out.ok = False
+                            out.counterexample = new_hist
+                            out.reason = "object code aborted"
+                            return []
+                        continue
+                    key = (next_config, new_states)
+                    out.dedup_lookups += 1
+                    if key in seen:
+                        out.dedup_hits += 1
+                        continue
+                    seen.add(key)
+                    stack.append(
+                        (next_config, new_states, new_hist, depth + 1))
+                    fresh += 1
+                if reduced and fresh == 0:
+                    # Cycle proviso (see Explorer.run_from): a reduced
+                    # expansion whose successors all dedup away must be
+                    # redone in full, or the pruned threads' futures
+                    # could be lost around a cycle of invisible steps.
+                    explorer.por_pruned -= explorer._last_pruned
+                    successors = explorer._expand(config, full=True)
+                    reduced = False
+                    continue
+                break
+        return []
+    finally:
+        out.elapsed += perf_counter() - started
+        out.por_pruned += explorer.por_pruned - pruned0
+        out.sym_merged += explorer.sym_merged - merged0
 
 
 def check_program_linearizable(program: Program, spec: OSpec,
@@ -168,9 +223,10 @@ def check_program_linearizable(program: Program, spec: OSpec,
 
     limits = limits or Limits()
     monitor = SpecMonitor(spec)
-    explorer = Explorer(program)
+    explorer = Explorer(program, reduce=spec_engine.reduce)
     states0 = monitor.initial(theta)
     out = ObjectLinResult(ok=True)
+    out.reduce = explorer.policy.effective
     distinct_histories: Set[Trace] = {()}
 
     spilled = product_run_from(
@@ -198,7 +254,13 @@ def check_program_linearizable_definitional(
                           aborted=result.aborted,
                           nodes_explored=result.nodes,
                           engine=result.engine,
-                          exhaustive=result.exhaustive)
+                          exhaustive=result.exhaustive,
+                          reduce=result.reduce,
+                          por_pruned=result.por_pruned,
+                          sym_merged=result.sym_merged,
+                          dedup_hits=result.dedup_hits,
+                          dedup_lookups=result.dedup_lookups,
+                          elapsed=result.elapsed)
     if result.aborted:
         out.ok = False
         out.reason = "some execution aborts (object or client fault)"

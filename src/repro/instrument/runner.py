@@ -306,13 +306,16 @@ class InstrumentedRunner:
         key = self.node_key
         seen = {key(c, h) for c, h, _ in frontier}
         stack: List[Tuple[IConfig, Trace, int]] = list(frontier)
-        budget = result.nodes + node_budget
+        # Exact accounting: charge a node only when actually expanded, so
+        # a spilled node is not double-counted when a later call resumes
+        # from it.
+        expanded_here = 0
         while stack:
-            config, hist, depth = stack.pop()
-            result.nodes += 1
-            if result.nodes > budget:
-                stack.append((config, hist, depth))
+            if expanded_here >= node_budget:
                 return stack
+            config, hist, depth = stack.pop()
+            expanded_here += 1
+            result.nodes += 1
             if depth >= self.limits.max_depth:
                 result.bounded = True
                 continue

@@ -22,20 +22,27 @@ from .store import Store
 HEAP_BASE = 1
 
 
-def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE) -> Tuple[Store, int]:
+def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE,
+             stride: int = 1) -> Tuple[Store, int]:
     """Allocate ``len(values)`` consecutive cells; return (store', address).
 
     The block chosen is the lowest run of free addresses at or above
-    ``base``.
+    ``base``.  A ``stride`` above 1 restricts candidate addresses to
+    ``base + k·stride`` — the sparse aligned regime the address-symmetry
+    reduction relies on (every allocation then occupies its own aligned
+    block, so the block base is recoverable from any interior address).
     """
 
     size = max(len(values), 1)
+    if stride > 1 and size > stride:
+        raise SemanticsError(
+            f"allocation of {size} cells exceeds symmetry stride {stride}")
     used = {k for k in store if isinstance(k, int)}
     addr = base
     while True:
         if all((addr + i) not in used for i in range(size)):
             break
-        addr += 1
+        addr += stride
     new = store.set_many((addr + i, v) for i, v in enumerate(values))
     if not values:
         # A zero-field record still occupies one cell so the address is

@@ -3,6 +3,10 @@
 Used by the Fig. 1/13/14 benches and the examples to *regenerate* the
 paper's instrumented-code figures directly from the algorithm registry,
 so the listings in the output provably match what was verified.
+
+Also renders the exploration performance counters
+(:func:`render_perf`) that the reduced engines report — throughput,
+dedup hit rate, and how much each reduction pruned.
 """
 
 from __future__ import annotations
@@ -140,3 +144,31 @@ def render_object(methods, title: str = "") -> str:
     for method in methods:
         parts.append(render_method(method))
     return "\n\n".join(parts)
+
+
+def render_perf(result) -> str:
+    """One-line performance summary of an exploration result.
+
+    Works for any result carrying the standard counters
+    (:class:`~repro.semantics.scheduler.ExplorationResult`,
+    :class:`~repro.history.object_lin.ObjectLinResult`): node
+    throughput, seen-set hit rate, and — when a reduction was active —
+    how many successor edges partial-order reduction pruned and how many
+    configurations address-symmetry canonicalization merged.
+    """
+
+    nodes = getattr(result, "nodes", None)
+    if nodes is None:
+        nodes = getattr(result, "nodes_explored", 0)
+    parts = [f"nodes={nodes}"]
+    rate = getattr(result, "nodes_per_sec", None)
+    if rate:
+        parts.append(f"nodes/sec={rate:,.0f}")
+    if getattr(result, "dedup_lookups", 0):
+        parts.append(f"dedup-hit-rate={result.dedup_hit_rate:.1%}")
+    reduce = getattr(result, "reduce", "none")
+    parts.append(f"reduce={reduce}")
+    if reduce != "none":
+        parts.append(f"por-pruned={getattr(result, 'por_pruned', 0)}")
+        parts.append(f"sym-merged={getattr(result, 'sym_merged', 0)}")
+    return "  ".join(parts)

@@ -1,0 +1,64 @@
+"""State-space reduction for the exploration core.
+
+Three composable reductions, all gated by ``EngineSpec.reduce``
+(``"none" | "por" | "por+sym"``, default ``"por+sym"``):
+
+* **partial-order reduction** (:mod:`repro.reduce.ownership`) — when a
+  thread's next step is *invisible* (no event, cannot abort) and its
+  read/write footprint (:mod:`repro.reduce.footprint`) lies entirely in
+  heap cells owned by that thread (unreachable by every other thread),
+  the step is a left- and right-mover against every other thread and is
+  explored first, alone, instead of interleaved with everything;
+* **address-symmetry canonicalization** (:mod:`repro.reduce.symmetry`)
+  — allocated addresses are arbitrary names; configurations differing
+  only by a permutation of dynamically allocated blocks are collapsed
+  to one canonical representative;
+* **hash-consing** (:mod:`repro.reduce.intern`) — configurations,
+  thread states and stores are interned with cached hashes so seen-set
+  membership stops re-walking structures.
+
+Which reductions can be applied soundly depends on the program;
+:mod:`repro.reduce.eligibility` performs the static scan and
+:func:`resolve_policy` turns the requested mode into the active
+:class:`ReductionPolicy`.  The soundness arguments live in the
+individual modules (and in the README's "Exploration engines" section);
+the enforcement is the engine-equivalence suite, which requires the
+reduced engines to reproduce the exact history and observable-trace
+sets of the unreduced sequential search on every registry algorithm.
+"""
+
+from .eligibility import Eligibility, scan_program
+from .footprint import Footprint
+from .intern import Interner
+from .ownership import compute_owner, footprint_is_private
+from .policy import (
+    DEFAULT_REDUCE,
+    REDUCE_MODES,
+    REDUCE_NONE,
+    REDUCE_POR,
+    REDUCE_POR_SYM,
+    ReductionPolicy,
+    resolve_policy,
+    validate_reduce,
+)
+from .symmetry import SYM_BASE, SYM_STRIDE, canonicalize_config
+
+__all__ = [
+    "DEFAULT_REDUCE",
+    "Eligibility",
+    "Footprint",
+    "Interner",
+    "REDUCE_MODES",
+    "REDUCE_NONE",
+    "REDUCE_POR",
+    "REDUCE_POR_SYM",
+    "ReductionPolicy",
+    "SYM_BASE",
+    "SYM_STRIDE",
+    "canonicalize_config",
+    "compute_owner",
+    "footprint_is_private",
+    "resolve_policy",
+    "scan_program",
+    "validate_reduce",
+]

@@ -1,0 +1,221 @@
+"""Static eligibility scan for the reductions.
+
+Both reductions rest on one syntactic regime, checked once per program:
+
+* **pure moves** — every value-producing expression (assignment and
+  store right-hand sides, allocation initializers, return values, call
+  arguments, print arguments, nondeterministic choices) is a variable or
+  a literal constant.  Then a value held by a thread is either a program
+  constant, an allocation result, or something loaded from the heap —
+  values are *moved*, never *computed*, so address values can be traced
+  by reachability and renamed by a permutation without breaking any
+  arithmetic relationship (there is none).
+* **offset-only addressing** — every dereferenced address expression is
+  ``v``, ``c`` or ``v + c`` with ``c ≥ 0`` a literal field offset, so
+  the cells a pointer can reach are exactly ``[v, v + max_offset]``.
+
+Programs outside the regime (packed pointers ``2p+1`` in CCAS/RDCSS,
+``mark_pack`` in the Harris-Michael list, version arithmetic in the pair
+snapshot) silently degrade: partial-order reduction and symmetry switch
+off for them and exploration is exactly the unreduced one.  Guard
+conditions (``Cmp``/``Not``/``And``/``Or``) are unrestricted: they only
+observe values.  Order comparisons (``<`` etc.) between *pointers* would
+be unsound under renaming; no registry algorithm compares pointers for
+order, and the engine-equivalence suite (reduced vs. unreduced on all
+12 algorithms) is the executable check of that precondition.
+
+The scan also collects:
+
+* ``max_offset`` — the largest literal field offset, bounding pointer
+  reach for the ownership analysis;
+* ``value_consts`` — every literal that can *become a value* (appear on
+  the right of a move).  These are reachability roots: a program may
+  conjure a static address out of a constant (``t := 3; [t] := v``), so
+  constants must count as globally shared.  Offsets and guard literals
+  cannot become values under the pure-move regime and are excluded.
+
+Symmetry additionally requires no ``Dispose`` (freed blocks would leave
+dangling permutation targets) and records the largest allocation, which
+must fit the sparse-allocator stride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+from weakref import WeakKeyDictionary
+
+from ..lang.ast import (
+    Alloc,
+    Assign,
+    Assume,
+    Atomic,
+    BinOp,
+    Call,
+    Const,
+    Dispose,
+    Expr,
+    If,
+    Load,
+    NondetChoice,
+    Noret,
+    Print,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+
+
+@dataclass(frozen=True)
+class Eligibility:
+    """What the scan concluded about one program."""
+
+    por: bool            # partial-order reduction is sound
+    sym: bool            # address-symmetry canonicalization is sound
+    max_offset: int      # largest literal field offset dereferenced
+    max_alloc: int       # largest allocation size (cells), 0 if none
+    value_consts: FrozenSet[int]  # literals that can become values
+    reason: str          # first disqualifying construct, for diagnostics
+
+
+class _Scan:
+    def __init__(self) -> None:
+        self.pure_moves = True
+        self.offset_addrs = True
+        self.has_dispose = False
+        self.max_offset = 0
+        self.max_alloc = 0
+        self.consts = set()
+        self.reason = ""
+
+    def _fail(self, flag: str, why: str) -> None:
+        if not self.reason:
+            self.reason = why
+        if flag == "moves":
+            self.pure_moves = False
+        else:
+            self.offset_addrs = False
+
+    def value_expr(self, expr: Expr) -> None:
+        """An expression whose result becomes a first-class value."""
+
+        if isinstance(expr, Const):
+            self.consts.add(expr.value)
+        elif not isinstance(expr, Var):
+            self._fail("moves", f"computed value: {expr!r}")
+
+    def addr_expr(self, expr: Expr) -> None:
+        """An expression used as a dereferenced address."""
+
+        if isinstance(expr, Var):
+            return
+        if isinstance(expr, Const):
+            # A literal address is a shared root, like any value literal.
+            self.consts.add(expr.value)
+            return
+        if isinstance(expr, BinOp) and expr.op == "+":
+            left, right = expr.left, expr.right
+            if isinstance(left, Const) and isinstance(right, Var):
+                left, right = right, left
+            if isinstance(left, Var) and isinstance(right, Const) \
+                    and isinstance(right.value, int) and right.value >= 0:
+                self.max_offset = max(self.max_offset, right.value)
+                return
+        self._fail("addr", f"non-offset address: {expr!r}")
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, (Skip, Noret)):
+            return
+        if isinstance(s, Assign):
+            self.value_expr(s.expr)
+        elif isinstance(s, Load):
+            self.addr_expr(s.addr)
+        elif isinstance(s, Store):
+            self.addr_expr(s.addr)
+            self.value_expr(s.expr)
+        elif isinstance(s, Alloc):
+            self.max_alloc = max(self.max_alloc, max(len(s.inits), 1))
+            for init in s.inits:
+                self.value_expr(init)
+        elif isinstance(s, Dispose):
+            self.has_dispose = True
+            self.addr_expr(s.addr)
+        elif isinstance(s, Assume):
+            pass  # guards only observe values
+        elif isinstance(s, NondetChoice):
+            for choice in s.choices:
+                self.value_expr(choice)
+        elif isinstance(s, Seq):
+            for sub in s.stmts:
+                self.stmt(sub)
+        elif isinstance(s, If):
+            self.stmt(s.then)
+            self.stmt(s.els)
+        elif isinstance(s, While):
+            self.stmt(s.body)
+        elif isinstance(s, Atomic):
+            self.stmt(s.body)
+        elif isinstance(s, Return):
+            self.value_expr(s.expr)
+        elif isinstance(s, Call):
+            if s.arg is not None:
+                self.value_expr(s.arg)
+        elif isinstance(s, Print):
+            self.value_expr(s.expr)
+        else:
+            # Unknown statement kind (e.g. instrumentation commands):
+            # assume nothing, reduce nothing.
+            self._fail("moves", f"unanalyzed statement: {type(s).__name__}")
+            self._fail("addr", "")
+
+
+_SCAN_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def scan_program(program) -> Eligibility:
+    """Scan every statement of ``program`` (clients and method bodies)."""
+
+    try:
+        cached = _SCAN_CACHE.get(program)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return cached
+
+    from ..reduce.symmetry import SYM_BASE, SYM_STRIDE
+
+    scan = _Scan()
+    for client in program.clients:
+        scan.stmt(client)
+    for method in program.object_impl.methods.values():
+        scan.stmt(method.body)
+
+    por = scan.pure_moves and scan.offset_addrs
+    # A literal ≥ SYM_BASE could name a sparse block without appearing in
+    # any store, defeating both the renaming and the reachability-based
+    # garbage collection — so symmetry also demands small literals.
+    sym = por and not scan.has_dispose and scan.max_alloc <= SYM_STRIDE \
+        and scan.max_offset < SYM_STRIDE \
+        and all(not isinstance(v, int) or abs(v) < SYM_BASE
+                for v in scan.consts)
+    if por and not sym and not scan.reason:
+        scan.reason = "dispose or oversized record"
+    result = Eligibility(
+        por=por,
+        sym=sym,
+        max_offset=scan.max_offset,
+        max_alloc=scan.max_alloc,
+        value_consts=frozenset(
+            v for v in scan.consts if isinstance(v, int)),
+        reason=scan.reason,
+    )
+    try:
+        _SCAN_CACHE[program] = result
+    except TypeError:
+        pass
+    return result

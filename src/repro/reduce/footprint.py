@@ -1,0 +1,94 @@
+"""Read/write footprints of thread steps.
+
+A :class:`Footprint` records which shared locations one thread-level
+transition touches: named variables and heap cells of the object memory
+σ_o (``("o", key)``) and of the client memory σ_c (``("c", key)``).
+Method-local reads and writes are *not* recorded — locals are private by
+construction and never block a reduction.
+
+The resolution rules mirror :class:`repro.semantics.thread.Env` exactly
+(``read_stores`` / ``write_var`` / ``data_store``): a name that resolves
+to a method local (explicit or implicit) is private; a name bound in σ_o
+is a shared object variable; client code touches σ_c.
+
+Footprints are *conservative by construction*: every evaluation records
+the free variables of the whole expression, atomic blocks accumulate the
+union over all executed paths and nondeterministic branches, and
+allocation and disposal (both interact with the global allocator
+state) set :attr:`Footprint.allocates`.  An allocating step records its
+initializer reads but *not* the fresh cells it creates; whether such a
+step may still be prioritized is the scheduler's decision — it is sound
+exactly when address-symmetry canonicalization is active (alloc/alloc
+orders commute modulo renaming) and never sound for ``dispose``, which
+the sym-eligible fragment excludes.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+Location = Tuple[str, object]  # ("o" | "c", variable name or cell address)
+
+
+class Footprint:
+    """Mutable accumulator for one thread step's shared accesses."""
+
+    __slots__ = ("reads", "writes", "allocates")
+
+    def __init__(self) -> None:
+        self.reads: Set[Location] = set()
+        self.writes: Set[Location] = set()
+        self.allocates: bool = False
+
+    # -- resolution mirrors of Env -----------------------------------------
+
+    @staticmethod
+    def _data_kind(env) -> str:
+        return "o" if env.in_method else "c"
+
+    def read_var(self, name: str, env) -> None:
+        if env.in_method:
+            if env.locals is not None and name in env.locals:
+                return  # method local
+            if name in env.sigma_o:
+                self.reads.add(("o", name))
+            # else: unbound / implicit local — evaluation faults elsewhere
+            return
+        self.reads.add(("c", name))
+
+    def read_vars(self, names, env) -> None:
+        for name in names:
+            self.read_var(name, env)
+
+    def read_expr(self, expr, env) -> None:
+        self.read_vars(expr.free_vars(), env)
+
+    def write_var(self, name: str, env) -> None:
+        # Mirrors Env.write_var: locals win, then σ_o object variables,
+        # else the write binds a fresh implicit local.
+        if env.in_method:
+            if env.locals is not None and name in env.locals:
+                return
+            if name in env.sigma_o:
+                self.writes.add(("o", name))
+            return
+        self.writes.add(("c", name))
+
+    def read_cell(self, addr, env) -> None:
+        self.reads.add((self._data_kind(env), addr))
+
+    def write_cell(self, addr, env) -> None:
+        self.writes.add((self._data_kind(env), addr))
+
+    def mark_alloc(self) -> None:
+        self.allocates = True
+
+    # -- queries -------------------------------------------------------------
+
+    def locations(self) -> Set[Location]:
+        return self.reads | self.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Footprint(reads={sorted(map(str, self.reads))}, "
+                f"writes={sorted(map(str, self.writes))}, "
+                f"allocates={self.allocates})")

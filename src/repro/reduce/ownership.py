@@ -1,0 +1,132 @@
+"""Conservative heap-ownership (escape) analysis for one configuration.
+
+A heap cell is *owned* by thread ``t`` when it is reachable from ``t``'s
+method-frame locals but from no shared root and no other thread.  A step
+whose whole footprint lies in cells owned by the stepping thread
+commutes with every step of every other thread — other threads cannot
+even *name* those cells (under the pure-move regime of
+:mod:`repro.reduce.eligibility`, a value must be moved to be used, and
+nothing outside the owner's frame holds one) — so it is a both-mover and
+can be explored first, alone.
+
+Shared roots, deliberately over-approximate:
+
+* every named object variable of σ_o (``Head``, ``Tail``, ...);
+* every value in the client memory σ_c (client-visible values);
+* every *value constant* of the program text — a thread can conjure a
+  static address out of a literal at any time, so literals are globally
+  reachable by definition.
+
+Reachability follows every integer value ``v`` into the heap extent it
+can address: ``[v, v + max_offset]`` in the dense regime, the whole
+aligned block in the sparse (symmetry) regime.  Data values that merely
+*collide* with addresses only ever make the analysis more conservative
+— a false edge can only demote a cell from "private" to "shared".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .symmetry import SYM_BASE, SYM_STRIDE
+
+SHARED = 0  # owner id meaning "reachable by more than one party"
+
+
+def _closure(roots: Iterable[int], heap, max_offset: int,
+             blocks: Optional[Dict[int, list]]) -> set:
+    """All heap cells reachable from ``roots`` through stored values.
+
+    An integer value can directly address ``[v, v + max_offset]`` in
+    the dense regime; in the sparse (symmetry) regime, the whole
+    aligned block, looked up in the precomputed ``blocks`` map
+    (``base -> [(cell, value), ...]``).
+    """
+
+    reached = set()
+    worklist = [v for v in roots if isinstance(v, int)]
+    while worklist:
+        value = worklist.pop()
+        if blocks is not None and value >= SYM_BASE:
+            base = SYM_BASE + ((value - SYM_BASE) // SYM_STRIDE) \
+                * SYM_STRIDE
+            for cell, nxt in blocks.get(base, ()):
+                if cell in reached:
+                    continue
+                reached.add(cell)
+                if isinstance(nxt, int):
+                    worklist.append(nxt)
+            continue
+        for cell in range(value, value + max_offset + 1):
+            if cell in reached or cell not in heap:
+                continue
+            reached.add(cell)
+            nxt = heap[cell]
+            if isinstance(nxt, int):
+                worklist.append(nxt)
+    return reached
+
+
+def compute_owner(config, policy) -> Dict[int, int]:
+    """Map every reachable heap cell of σ_o to its owner.
+
+    Owner ids: ``SHARED`` (0) for cells reachable from the shared roots
+    or from two different threads; ``tid`` (1-based thread index) for
+    cells reachable only from that thread's frame locals.  Cells absent
+    from the map are unreachable garbage — conservatively not owned by
+    anybody.
+    """
+
+    heap = config.sigma_o
+    max_offset = policy.max_offset
+
+    blocks: Optional[Dict[int, list]] = {} if policy.sym else None
+    shared_roots = list(policy.value_consts)
+    for key, value in heap.items():
+        if isinstance(key, str):
+            shared_roots.append(value)
+        elif blocks is not None and key >= SYM_BASE:
+            base = SYM_BASE + ((key - SYM_BASE) // SYM_STRIDE) * SYM_STRIDE
+            blocks.setdefault(base, []).append((key, value))
+    for value in config.sigma_c.values():
+        shared_roots.append(value)
+
+    owner: Dict[int, int] = {}
+    for cell in _closure(shared_roots, heap, max_offset, blocks):
+        owner[cell] = SHARED
+
+    for idx, tstate in enumerate(config.threads):
+        frame = tstate.frame
+        if frame is None:
+            continue
+        tid = idx + 1
+        for cell in _closure(frame.locals.values(), heap, max_offset,
+                             blocks):
+            prev = owner.get(cell)
+            if prev is None:
+                owner[cell] = tid
+            elif prev != tid:
+                owner[cell] = SHARED
+    return owner
+
+
+def footprint_is_private(footprint, owner: Dict[int, int],
+                         tid: int) -> bool:
+    """True when every location the step touches belongs to ``tid``.
+
+    Named-variable locations (σ_o object variables, σ_c client
+    variables) are shared by definition; only *object-heap* cells owned
+    by the stepping thread qualify.  The ``kind`` guard matters: the
+    owner map is keyed by σ_o addresses, so a ``("c", addr)`` client
+    heap cell must never be looked up in it.
+    """
+
+    for kind, key in footprint.reads:
+        if kind != "o" or not isinstance(key, int) \
+                or owner.get(key) != tid:
+            return False
+    for kind, key in footprint.writes:
+        if kind != "o" or not isinstance(key, int) \
+                or owner.get(key) != tid:
+            return False
+    return True

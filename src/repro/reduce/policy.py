@@ -1,0 +1,85 @@
+"""Reduction modes and per-program policy resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from .eligibility import scan_program
+from .symmetry import SYM_BASE, SYM_STRIDE
+
+REDUCE_NONE = "none"
+REDUCE_POR = "por"
+REDUCE_POR_SYM = "por+sym"
+REDUCE_MODES = (REDUCE_NONE, REDUCE_POR, REDUCE_POR_SYM)
+
+#: Default for sequential and parallel engines: everything on.  The
+#: eligibility scan silently drops whatever a given program cannot
+#: support, so the default is always safe.
+DEFAULT_REDUCE = REDUCE_POR_SYM
+
+
+def validate_reduce(mode: str) -> str:
+    if mode not in REDUCE_MODES:
+        raise ValueError(
+            f"unknown reduction mode {mode!r}; expected one of "
+            f"{', '.join(REDUCE_MODES)}")
+    return mode
+
+
+@dataclass(frozen=True)
+class ReductionPolicy:
+    """The reductions actually active for one program.
+
+    ``mode`` is what was requested; ``por``/``sym``/``intern`` are what
+    the eligibility scan allowed.  ``alloc`` is the ``(base, stride)``
+    the sparse allocator uses for method-code allocations under
+    symmetry, or ``None`` for the ordinary dense allocator.
+    """
+
+    mode: str
+    por: bool = False
+    sym: bool = False
+    intern: bool = False
+    max_offset: int = 0
+    value_consts: FrozenSet[int] = frozenset()
+    alloc: Optional[Tuple[int, int]] = None
+
+    @property
+    def active(self) -> bool:
+        return self.por or self.sym or self.intern
+
+    @property
+    def effective(self) -> str:
+        """The mode actually in force after eligibility filtering."""
+        if self.por and self.sym:
+            return REDUCE_POR_SYM
+        if self.por:
+            return REDUCE_POR
+        return REDUCE_NONE
+
+
+INERT_POLICY = ReductionPolicy(mode=REDUCE_NONE)
+
+
+def resolve_policy(program, mode: Optional[str]) -> ReductionPolicy:
+    """Resolve a requested mode against ``program``'s eligibility."""
+
+    if mode is None:
+        mode = DEFAULT_REDUCE
+    validate_reduce(mode)
+    if mode == REDUCE_NONE:
+        return INERT_POLICY
+
+    elig = scan_program(program)
+    por = elig.por
+    sym = mode == REDUCE_POR_SYM and elig.sym
+    return ReductionPolicy(
+        mode=mode,
+        por=por,
+        sym=sym,
+        intern=True,
+        max_offset=elig.max_offset,
+        value_consts=elig.value_consts,
+        alloc=(SYM_BASE, SYM_STRIDE) if sym else None,
+    )

@@ -1,0 +1,206 @@
+"""Address-symmetry canonicalization.
+
+Dynamically allocated addresses are arbitrary names: two configurations
+that differ only by a permutation of allocated blocks have isomorphic
+futures, and — as long as no address value escapes into an event — those
+futures produce *identical* history and observable-trace sets.  The
+explorer therefore replaces every successor configuration by a canonical
+representative of its permutation class, collapsing e.g. the ``n!``
+orders in which ``n`` threads can run their private allocations.
+
+The renaming must never confuse an address with ordinary data (an
+untyped memory stores both as integers).  Eligible programs (see
+:mod:`repro.reduce.eligibility`) are explored under a **sparse
+allocator**: method-code allocations are served from aligned blocks at
+``SYM_BASE + k·SYM_STRIDE``, far above every static cell, program
+literal and client value (all of which stay small).  Any integer
+``≥ SYM_BASE`` is then an allocated address by construction — pure
+moves cannot manufacture one — and the permutation π can rename exactly
+the block bases, nothing else.
+
+Canonical form: blocks are numbered in the order a deterministic walk
+discovers them — named σ_o variables in sorted order, then each
+thread's frame locals in sorted order, then client memory, then a
+breadth-first sweep through block cells in address order.  π maps the
+*i*-th discovered base to ``SYM_BASE + i·SYM_STRIDE``.  The walk
+depends only on the permutation class, so two isomorphic configurations
+canonicalize to the same representative.
+
+Blocks the walk never reaches are *garbage*: under the pure-move
+regime no thread can ever produce their address again (a value must be
+moved from somewhere, and no root or reachable cell holds one), so they
+are semantically inert — unreadable, unwritable, undisposable (the
+eligible fragment has no ``dispose`` at all).  Canonicalization
+therefore *collects* them: configurations that differ only in the
+placement or leftover contents of dead blocks (e.g. popped list nodes)
+merge into one.  Erasing garbage is a strong bisimulation that
+preserves every event, so history/observable sets are unchanged; the
+allocator may hand out different raw addresses afterwards, but those
+are quotiented by the very same canonicalization.
+
+Defensive fallbacks: a value ``≥ SYM_BASE`` that is not inside an
+allocated block (impossible under the eligibility regime) aborts the
+pass for that configuration — it is returned unrenamed, costing
+reduction, never soundness.  An *event* carrying a value ``≥ SYM_BASE``
+means an address escaped into a history and the permutation argument
+itself is void: that raises :class:`AddressEscapeError` loudly rather
+than risk merging distinguishable configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+SYM_BASE = 1 << 16
+SYM_STRIDE = 16
+
+
+class AddressEscapeError(RuntimeError):
+    """An allocated address escaped into an event under ``reduce=por+sym``.
+
+    The symmetry argument requires histories to be address-free; rerun
+    with ``reduce="por"`` for such programs.
+    """
+
+
+def _block_base(value: int) -> int:
+    return SYM_BASE + ((value - SYM_BASE) // SYM_STRIDE) * SYM_STRIDE
+
+
+def check_event_escape(event) -> None:
+    """Raise if ``event`` carries an allocated (sparse-regime) address."""
+
+    if event is None:
+        return
+    for attr in ("arg", "value"):
+        val = getattr(event, attr, None)
+        if isinstance(val, int) and val >= SYM_BASE:
+            raise AddressEscapeError(
+                f"address {val} escaped into event {event!r}; "
+                f"address-symmetry reduction is unsound for this program — "
+                f"use reduce='por'")
+
+
+def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
+    """The canonical representative of ``config``'s permutation class.
+
+    Returns ``(config', changed)``; ``changed`` is False when ``config``
+    already is canonical (the common case — allocation order usually
+    matches discovery order) or when the pass bailed out on an anomaly.
+    ``store_cls`` is :class:`repro.memory.store.Store` (passed in to
+    avoid an import cycle).
+    """
+
+    sigma_o = config.sigma_o
+    blocks: Dict[int, List[Tuple[int, int]]] = {}
+    named: List[str] = []
+    dense: List[int] = []
+    for key, value in sigma_o.items():
+        if isinstance(key, int):
+            if key >= SYM_BASE:
+                blocks.setdefault(_block_base(key), []).append((key, value))
+            else:
+                dense.append(key)
+        else:
+            named.append(key)
+    if not blocks:
+        return config, False
+
+    order: List[int] = []
+    seen = set()
+
+    def visit(value) -> bool:
+        """Record a discovered base; False on an anomalous address."""
+        if isinstance(value, int) and value >= SYM_BASE:
+            base = _block_base(value)
+            if base not in blocks:
+                return False
+            if base not in seen:
+                seen.add(base)
+                order.append(base)
+        return True
+
+    # Roots, in a deterministic permutation-invariant order: named σ_o
+    # variables, *dense* (static / pre-allocated) heap cells — a queue
+    # sentinel's next field lives there and may hold the only pointer
+    # into the sparse heap — then frame locals and client memory.
+    named.sort()
+    for key in named:
+        if not visit(sigma_o[key]):
+            return config, False
+    if dense:
+        dense.sort()
+        for key in dense:
+            if not visit(sigma_o[key]):
+                return config, False
+    for tstate in config.threads:
+        frame = tstate.frame
+        if frame is not None:
+            locals_ = frame.locals
+            for name in sorted(locals_):
+                if not visit(locals_[name]):
+                    return config, False
+    sigma_c = config.sigma_c
+    for name in sorted(sigma_c, key=lambda k: (isinstance(k, int), k)):
+        if not visit(sigma_c[name]):
+            return config, False
+
+    for cells in blocks.values():
+        cells.sort()
+    index = 0
+    while index < len(order):
+        base = order[index]
+        index += 1
+        for _cell, value in blocks[base]:
+            if not visit(value):
+                return config, False
+
+    garbage = blocks.keys() - seen
+    pi: Dict[int, int] = {
+        base: SYM_BASE + i * SYM_STRIDE for i, base in enumerate(order)
+    }
+    if not garbage and all(src == dst for src, dst in pi.items()):
+        return config, False
+
+    def rename(value):
+        if isinstance(value, int) and value >= SYM_BASE:
+            base = _block_base(value)
+            return pi[base] + (value - base)
+        return value
+
+    new_o = {}
+    for key, value in sigma_o.items():
+        if isinstance(key, int) and key >= SYM_BASE:
+            if _block_base(key) in garbage:
+                continue  # collected: unreachable, hence inert forever
+            key = rename(key)
+        new_o[key] = rename(value)
+
+    new_threads = []
+    threads_changed = False
+    for tstate in config.threads:
+        frame = tstate.frame
+        if frame is None:
+            new_threads.append(tstate)
+            continue
+        new_locals = {name: rename(value)
+                      for name, value in frame.locals.items()}
+        if new_locals == dict(frame.locals.items()):
+            new_threads.append(tstate)
+            continue
+        threads_changed = True
+        new_frame = type(frame)(
+            locals=store_cls(new_locals), retvar=frame.retvar,
+            caller_control=frame.caller_control, method=frame.method)
+        new_threads.append(type(tstate)(control=tstate.control,
+                                        frame=new_frame))
+
+    new_c = {key: rename(value)
+             for key, value in config.sigma_c.items()}
+    c_changed = new_c != dict(config.sigma_c.items())
+
+    return type(config)(
+        threads=tuple(new_threads) if threads_changed else config.threads,
+        sigma_c=store_cls(new_c) if c_changed else config.sigma_c,
+        sigma_o=store_cls(new_o),
+    ), True

@@ -19,11 +19,20 @@ so expanding each such node once is complete.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..errors import BoundExceeded
 from ..lang.program import ObjectImpl, Program
 from ..memory.store import Store
+from ..reduce import (
+    Interner,
+    canonicalize_config,
+    compute_owner,
+    footprint_is_private,
+    resolve_policy,
+)
+from ..reduce.symmetry import check_event_escape
 from .events import Event, Trace, history_of, observable_of
 from .thread import (
     ThreadState,
@@ -33,9 +42,15 @@ from .thread import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Config:
-    """A whole-machine configuration ``(σ_c, σ_o, K)`` plus thread code."""
+    """A whole-machine configuration ``(σ_c, σ_o, K)`` plus thread code.
+
+    Hash-consed: exploration hashes every configuration on every
+    seen-set lookup, so the hash is computed once and cached, and
+    equality short-circuits on identity (interned configurations) and on
+    cached-hash mismatch before walking the structure.
+    """
 
     threads: Tuple[ThreadState, ...]
     sigma_c: Store
@@ -44,6 +59,24 @@ class Config:
     @property
     def quiescent(self) -> bool:
         return all(t.finished for t in self.threads)
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not Config:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return (self.threads == other.threads
+                and self.sigma_c == other.sigma_c
+                and self.sigma_o == other.sigma_o)
+
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.threads, self.sigma_c, self.sigma_o))
+            object.__setattr__(self, "_hash", h)
+        return h
 
 
 @dataclass(frozen=True)
@@ -78,6 +111,28 @@ class ExplorationResult:
     exhaustive: bool = True
     #: True when the result was served from the persistent memo cache.
     from_cache: bool = False
+    #: The reduction mode actually in force ("none" / "por" / "por+sym"
+    #: after eligibility filtering — see :mod:`repro.reduce`).
+    reduce: str = "none"
+    #: Perf counters.  ``por_pruned`` counts successor edges partial-order
+    #: reduction skipped; ``sym_merged`` counts successors redirected to a
+    #: canonical address-permutation representative; the dedup pair gives
+    #: the seen-set hit rate; ``elapsed`` is exploration wall-clock.
+    por_pruned: int = 0
+    sym_merged: int = 0
+    dedup_hits: int = 0
+    dedup_lookups: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def nodes_per_sec(self) -> float:
+        return self.nodes / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        if self.dedup_lookups <= 0:
+            return 0.0
+        return self.dedup_hits / self.dedup_lookups
 
     def add_prefixes(self, trace: Trace) -> None:
         """Record all prefixes of an observable trace (prefix closure)."""
@@ -93,13 +148,34 @@ def initial_config(program: Program) -> Config:
 
 
 class Explorer:
-    """Exhaustive bounded interleaving exploration of a program."""
+    """Exhaustive bounded interleaving exploration of a program.
 
-    def __init__(self, program: Program, limits: Optional[Limits] = None):
+    ``reduce`` selects the state-space reductions (``"none"`` / ``"por"``
+    / ``"por+sym"``; ``None`` means the default, everything on — see
+    :mod:`repro.reduce`).  The requested mode is filtered against the
+    program's static eligibility, so the explored history and
+    observable-trace sets are always exactly those of the unreduced
+    search.
+    """
+
+    def __init__(self, program: Program, limits: Optional[Limits] = None,
+                 reduce: Optional[str] = None):
         self.program = program
         self.impl: ObjectImpl = program.object_impl
         self.limits = limits or Limits()
         self.private_client_vars = program.private_client_vars
+        self.policy = resolve_policy(program, reduce)
+        self.interner: Optional[Interner] = (
+            Interner() if self.policy.intern else None)
+        # Reduction counters, accumulated across run_from calls; the
+        # per-call deltas are transferred into each result.
+        self.por_pruned = 0
+        self.sym_merged = 0
+        self._last_pruned = 0
+        #: True when the most recent ``_expand`` applied partial-order
+        #: reduction (so a caller whose successors all dedup away must
+        #: re-expand fully — the cycle proviso, see ``run_from``).
+        self.last_expand_reduced = False
 
     def initial_nodes(self) -> List[Config]:
         """Initial configurations, with invisible steps pre-executed."""
@@ -120,11 +196,22 @@ class Explorer:
         return configs
 
     def start_nodes(self) -> List[ExploreNode]:
-        """The deduplicated initial search nodes."""
+        """The deduplicated initial search nodes.
+
+        Under ``por+sym`` each initial configuration is first replaced by
+        the canonical representative of its address-permutation class, so
+        symmetric initial configurations dedup to one node.
+        """
 
         nodes: List[ExploreNode] = []
         seen: Set[Tuple[Config, Trace, Trace]] = set()
         for start in self.initial_nodes():
+            if self.policy.sym:
+                start, changed = canonicalize_config(start, Store)
+                if changed:
+                    self.sym_merged += 1
+            if self.interner is not None:
+                start = self.interner.config(start)
             if (start, (), ()) not in seen:
                 seen.add((start, (), ()))
                 nodes.append((start, (), (), 0))
@@ -132,6 +219,7 @@ class Explorer:
 
     def run(self) -> ExplorationResult:
         result = ExplorationResult()
+        result.reduce = self.policy.effective
         result.histories.add(())
         result.observables.add(())
         spilled = self.run_from(self.start_nodes(), self.limits.max_nodes,
@@ -149,6 +237,11 @@ class Explorer:
         subtree was exhausted).  This is the unit of work the parallel
         engine distributes; the sequential :meth:`run` is a single call
         with the full node budget.
+
+        Accounting is exact: a node is charged against the budget only
+        when it is actually expanded, so a spilled frontier node costs
+        nothing until some later call expands it (``result.nodes`` equals
+        the number of ``_expand`` calls across spill/resume cycles).
         """
 
         limits = self.limits
@@ -157,69 +250,167 @@ class Explorer:
         seen: Set[Tuple[Config, Trace, Trace]] = {
             (c, h, o) for c, h, o, _ in frontier}
         stack: List[ExploreNode] = list(frontier)
-        budget = result.nodes + node_budget
+        expanded_here = 0
+        pruned0, merged0 = self.por_pruned, self.sym_merged
+        started = perf_counter()
 
-        while stack:
-            config, hist, obs, depth = stack.pop()
-            result.nodes += 1
-            if result.nodes > budget:
-                stack.append((config, hist, obs, depth))
-                return stack
-            successors = self._expand(config)
-            if not successors:
-                # Quiescent or deadlocked: record the terminal trace.
-                result.add_prefixes(obs)
-                result.terminal_configs.add(config)
-                continue
-            if depth >= limits.max_depth:
-                result.bounded = True
-                result.add_prefixes(obs)
-                continue
-            for next_config, event in successors:
-                new_hist = hist
-                new_obs = obs
-                if event is not None:
-                    if event.is_object_event:
-                        new_hist = hist + (event,)
-                        result.histories.add(new_hist)
-                    if event.is_observable:
-                        new_obs = obs + (event,)
-                        result.add_prefixes(new_obs)
-                if next_config is None:
-                    # Aborted execution: trace ends here.
-                    result.aborted = True
+        try:
+            while stack:
+                if expanded_here >= node_budget:
+                    return stack
+                config, hist, obs, depth = stack.pop()
+                expanded_here += 1
+                result.nodes += 1
+                successors = self._expand(config)
+                reduced = self.last_expand_reduced
+                if not successors:
+                    # Quiescent or deadlocked: record the terminal trace.
+                    result.add_prefixes(obs)
+                    result.terminal_configs.add(config)
                     continue
-                key = (next_config, new_hist, new_obs)
-                if key in seen:
+                if depth >= limits.max_depth:
+                    result.bounded = True
+                    result.add_prefixes(obs)
                     continue
-                seen.add(key)
-                stack.append((next_config, new_hist, new_obs, depth + 1))
-        return []
+                while True:
+                    fresh = 0
+                    for next_config, event in successors:
+                        new_hist = hist
+                        new_obs = obs
+                        if event is not None:
+                            if event.is_object_event:
+                                new_hist = hist + (event,)
+                                result.histories.add(new_hist)
+                            if event.is_observable:
+                                new_obs = obs + (event,)
+                                result.add_prefixes(new_obs)
+                        if next_config is None:
+                            # Aborted execution: trace ends here.
+                            result.aborted = True
+                            continue
+                        key = (next_config, new_hist, new_obs)
+                        result.dedup_lookups += 1
+                        if key in seen:
+                            result.dedup_hits += 1
+                            continue
+                        seen.add(key)
+                        stack.append(
+                            (next_config, new_hist, new_obs, depth + 1))
+                        fresh += 1
+                    if reduced and fresh == 0:
+                        # Cycle proviso: the prioritized thread's
+                        # successors all dedup into already-seen nodes, so
+                        # following only it could starve the other
+                        # threads' futures (a cycle of invisible private
+                        # steps).  Re-expand the node without reduction;
+                        # the prioritized successors stay deduplicated.
+                        self.por_pruned -= self._last_pruned
+                        successors = self._expand(config, full=True)
+                        reduced = False
+                        continue
+                    break
+            return []
+        finally:
+            result.elapsed += perf_counter() - started
+            result.por_pruned += self.por_pruned - pruned0
+            result.sym_merged += self.sym_merged - merged0
 
-    def _expand(self, config: Config) -> List[Tuple[Optional[Config], Optional[Event]]]:
-        out: List[Tuple[Optional[Config], Optional[Event]]] = []
+    def _expand(self, config: Config, full: bool = False
+                ) -> List[Tuple[Optional[Config], Optional[Event]]]:
+        """All successor (configuration, event) pairs of ``config``.
+
+        With partial-order reduction active (and ``full`` false), if some
+        thread's next step is invisible — no event, cannot abort — and
+        touches only heap cells that thread owns (unreachable by the
+        shared roots and every other thread), only that thread is
+        expanded: the step commutes with everything the others can do, so
+        the pruned interleavings reach the same histories, observables
+        and terminal configurations through the prioritized order.
+
+        Under ``por+sym``, *allocating* steps with a private recorded
+        footprint qualify too.  Against a non-allocating step of another
+        thread the two orders commute literally: such steps never change
+        the heap's address domain, so the allocator's slot choice is
+        identical either way, and the fresh block is unnameable by the
+        other thread (pure moves cannot conjure its address).  Against
+        another thread's allocation, the two orders differ only by a
+        permutation of the two fresh blocks — exactly what
+        :func:`canonicalize_config` merges, and since no address ever
+        escapes into an event (``check_event_escape``), the history and
+        observable sets coincide.  ``dispose`` would break the argument,
+        but the sym-eligible fragment has none.
+        """
+
+        policy = self.policy
+        por = policy.por and not full
+        self.last_expand_reduced = False
+
+        per_thread: List[Tuple[int, list]] = []
         for idx, tstate in enumerate(config.threads):
             tid = idx + 1
             try:
                 outcomes = thread_step(tstate, tid, config.sigma_c,
-                                       config.sigma_o, self.impl)
+                                       config.sigma_o, self.impl,
+                                       footprints=por, alloc=policy.alloc)
             except BoundExceeded:
                 # Divergent atomic block: treat as a cut, not a crash.
                 continue
+            if outcomes:
+                per_thread.append((idx, outcomes))
+
+        if por and len(per_thread) > 1:
+            owner = None
+            chosen: Optional[Tuple[int, list]] = None
+            for idx, outcomes in per_thread:
+                if any(oc.aborted or oc.event is not None
+                       for oc in outcomes):
+                    continue
+                fp = outcomes[0].footprint  # shared across outcomes
+                if fp is None:
+                    continue
+                if fp.allocates and not policy.sym:
+                    # Allocation order is only commutative modulo address
+                    # renaming, which needs the symmetry pass active.
+                    continue
+                if owner is None:
+                    owner = compute_owner(config, policy)
+                if footprint_is_private(fp, owner, idx + 1):
+                    chosen = (idx, outcomes)
+                    break
+            if chosen is not None:
+                pruned = sum(len(ocs) for i, ocs in per_thread
+                             if i != chosen[0])
+                self.por_pruned += pruned
+                self._last_pruned = pruned
+                self.last_expand_reduced = True
+                per_thread = [chosen]
+
+        out: List[Tuple[Optional[Config], Optional[Event]]] = []
+        interner = self.interner
+        for idx, outcomes in per_thread:
             for outcome in outcomes:
                 if outcome.aborted:
                     out.append((None, outcome.event))
                     continue
+                if policy.sym:
+                    check_event_escape(outcome.event)
                 expanded = expand_until_visible(
                     outcome.thread_state, outcome.sigma_c, outcome.sigma_o,
                     self.private_client_vars)
                 for ts, sc in expanded:
+                    if interner is not None:
+                        ts = interner.thread_state(ts)
                     threads = (config.threads[:idx] + (ts,)
                                + config.threads[idx + 1:])
-                    out.append((
-                        Config(threads, sc, outcome.sigma_o),
-                        outcome.event,
-                    ))
+                    next_config = Config(threads, sc, outcome.sigma_o)
+                    if policy.sym:
+                        next_config, changed = canonicalize_config(
+                            next_config, Store)
+                        if changed:
+                            self.sym_merged += 1
+                    if interner is not None:
+                        next_config = interner.config(next_config)
+                    out.append((next_config, outcome.event))
         return out
 
 
@@ -239,7 +430,7 @@ def explore(program: Program, limits: Optional[Limits] = None,
 
     spec = resolve_engine(engine)
     if spec.sequential and not spec.memo:
-        return Explorer(program, limits).run()
+        return Explorer(program, limits, reduce=spec.reduce).run()
 
     from ..engine.dispatch import dispatch_explore
 

@@ -18,7 +18,7 @@ for the auxiliary commands.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import BoundExceeded, EvalError, SemanticsError
@@ -44,6 +44,7 @@ from ..lang.ast import (
 from ..lang.program import MethodDef, ObjectImpl
 from ..memory.heap import allocate, dispose
 from ..memory.store import Store
+from ..reduce.footprint import Footprint
 from .eval import eval_bool_in, eval_in
 from .events import (
     CltAbortEvent,
@@ -75,13 +76,20 @@ class Env:
 
     ``locals`` is the method-local store σ_l, or ``None`` when executing
     client code.  ``extra`` carries the speculation set Δ for instrumented
-    executions and is ``None`` in the plain semantics.
+    executions and is ``None`` in the plain semantics.  ``fp``, when set,
+    is a mutable :class:`repro.reduce.footprint.Footprint` accumulating
+    the shared reads/writes of the current thread step, and ``alloc`` is
+    an ``(base, stride)`` override routing method-code allocations to the
+    sparse aligned regime of the address-symmetry reduction; both are
+    ``None`` in unreduced exploration and in the instrumented semantics.
     """
 
     locals: Optional[Store]
     sigma_c: Store
     sigma_o: Store
     extra: object = None
+    fp: object = field(default=None, compare=False)
+    alloc: Optional[Tuple[int, int]] = field(default=None, compare=False)
 
     @property
     def in_method(self) -> bool:
@@ -124,15 +132,23 @@ def exec_prim(stmt: Stmt, env: Env) -> List[Env]:
     (a false ``assume``).
     """
 
+    fp = env.fp
     try:
         if isinstance(stmt, Skip):
             return [env]
         if isinstance(stmt, Assign):
+            if fp is not None:
+                fp.read_expr(stmt.expr, env)
+                fp.write_var(stmt.var, env)
             value = eval_in(stmt.expr, *env.read_stores())
             return [env.write_var(stmt.var, value)]
         if isinstance(stmt, Load):
             addr = eval_in(stmt.addr, *env.read_stores())
             data = env.data_store()
+            if fp is not None:
+                fp.read_expr(stmt.addr, env)
+                fp.read_cell(addr, env)
+                fp.write_var(stmt.var, env)
             if not isinstance(addr, int) or addr not in data:
                 raise Fault(f"load from unallocated address {addr}")
             return [env.write_var(stmt.var, data[addr])]
@@ -140,25 +156,47 @@ def exec_prim(stmt: Stmt, env: Env) -> List[Env]:
             addr = eval_in(stmt.addr, *env.read_stores())
             value = eval_in(stmt.expr, *env.read_stores())
             data = env.data_store()
+            if fp is not None:
+                fp.read_expr(stmt.addr, env)
+                fp.read_expr(stmt.expr, env)
+                fp.write_cell(addr, env)
             if not isinstance(addr, int) or addr not in data:
                 raise Fault(f"store to unallocated address {addr}")
             return [env.with_data(data.set(addr, value))]
         if isinstance(stmt, Alloc):
+            if fp is not None:
+                for e in stmt.inits:
+                    fp.read_expr(e, env)
+                fp.write_var(stmt.var, env)
+                fp.mark_alloc()
             values = tuple(eval_in(e, *env.read_stores()) for e in stmt.inits)
-            data, addr = allocate(env.data_store(), values)
+            if env.alloc is not None and env.in_method:
+                data, addr = allocate(env.data_store(), values,
+                                      base=env.alloc[0], stride=env.alloc[1])
+            else:
+                data, addr = allocate(env.data_store(), values)
             return [env.with_data(data).write_var(stmt.var, addr)]
         if isinstance(stmt, Dispose):
             addr = eval_in(stmt.addr, *env.read_stores())
+            if fp is not None:
+                fp.read_expr(stmt.addr, env)
+                fp.mark_alloc()  # allocator state changes: never a mover
             try:
                 data = dispose(env.data_store(), addr)
             except SemanticsError as exc:
                 raise Fault(str(exc))
             return [env.with_data(data)]
         if isinstance(stmt, Assume):
+            if fp is not None:
+                fp.read_vars(stmt.cond.free_vars(), env)
             if eval_bool_in(stmt.cond, *env.read_stores()):
                 return [env]
             return []
         if isinstance(stmt, NondetChoice):
+            if fp is not None:
+                for choice in stmt.choices:
+                    fp.read_expr(choice, env)
+                fp.write_var(stmt.var, env)
             outs = []
             for choice in stmt.choices:
                 value = eval_in(choice, *env.read_stores())
@@ -192,6 +230,8 @@ def run_block(stmt: Stmt, env: Env, handler: Optional[Handler] = None,
                 return []
         return envs
     if isinstance(stmt, If):
+        if env.fp is not None:
+            env.fp.read_vars(stmt.cond.free_vars(), env)
         try:
             branch_of = lambda e: stmt.then if eval_bool_in(
                 stmt.cond, *e.read_stores()) else stmt.els
@@ -201,6 +241,8 @@ def run_block(stmt: Stmt, env: Env, handler: Optional[Handler] = None,
     if isinstance(stmt, While):
         if fuel <= 0:
             raise BoundExceeded("loop inside atomic block exceeded fuel")
+        if env.fp is not None:
+            env.fp.read_vars(stmt.cond.free_vars(), env)
         try:
             taken = eval_bool_in(stmt.cond, *env.read_stores())
         except EvalError as exc:
@@ -224,17 +266,42 @@ def run_block(stmt: Stmt, env: Env, handler: Optional[Handler] = None,
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Frame:
-    """The call stack ``κ = (σ_l, x, C)`` of Fig. 4."""
+    """The call stack ``κ = (σ_l, x, C)`` of Fig. 4.
+
+    Hash-consed: the hash is computed once and cached (exploration
+    hashes every frame many times), and equality short-circuits on
+    identity and on cached-hash mismatch before walking fields.
+    """
 
     locals: Store
     retvar: str
     caller_control: Control
     method: str
 
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not Frame:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return (self.method == other.method
+                and self.retvar == other.retvar
+                and self.caller_control == other.caller_control
+                and self.locals == other.locals)
 
-@dataclass(frozen=True)
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.locals, self.retvar, self.caller_control,
+                      self.method))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+
+@dataclass(frozen=True, eq=False)
 class ThreadState:
     control: Control
     frame: Optional[Frame] = None
@@ -252,6 +319,23 @@ class ThreadState:
         """True when a method was invoked but has not responded yet."""
         return self.frame is not None
 
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if other.__class__ is not ThreadState:
+            return NotImplemented
+        if hash(self) != hash(other):
+            return False
+        return (self.control == other.control
+                and self.frame == other.frame)
+
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.control, self.frame))
+            object.__setattr__(self, "_hash", h)
+        return h
+
 
 def push_control(stmt: Stmt, rest: Control) -> Control:
     """Prepend ``stmt`` onto ``rest``, flattening sequences."""
@@ -266,12 +350,20 @@ def push_control(stmt: Stmt, rest: Control) -> Control:
 
 @dataclass(frozen=True)
 class StepOutcome:
-    """One possible result of a thread transition."""
+    """One possible result of a thread transition.
+
+    ``footprint`` (only populated when the caller asked for footprints)
+    is the shared read/write footprint of the step — shared between the
+    outcomes of one ``thread_step`` call, i.e. the union over all
+    nondeterministic branches, which is exactly the conservative shape
+    partial-order reduction needs.
+    """
 
     thread_state: Optional[ThreadState]  # None when the execution aborted
     sigma_c: Store
     sigma_o: Store
     event: Optional[Event] = None
+    footprint: object = field(default=None, compare=False)
 
     @property
     def aborted(self) -> bool:
@@ -282,12 +374,14 @@ def initial_thread(client_code: Stmt) -> ThreadState:
     return ThreadState(control=push_control(client_code, ()))
 
 
-def _method_env(frame: Frame, sigma_c: Store, sigma_o: Store) -> Env:
-    return Env(locals=frame.locals, sigma_c=sigma_c, sigma_o=sigma_o)
+def _method_env(frame: Frame, sigma_c: Store, sigma_o: Store,
+                fp=None, alloc=None) -> Env:
+    return Env(locals=frame.locals, sigma_c=sigma_c, sigma_o=sigma_o,
+               fp=fp, alloc=alloc)
 
 
-def _client_env(sigma_c: Store, sigma_o: Store) -> Env:
-    return Env(locals=None, sigma_c=sigma_c, sigma_o=sigma_o)
+def _client_env(sigma_c: Store, sigma_o: Store, fp=None) -> Env:
+    return Env(locals=None, sigma_c=sigma_c, sigma_o=sigma_o, fp=fp)
 
 
 #: Budget for eagerly executed thread-local steps between visible actions.
@@ -411,10 +505,17 @@ def expand_until_visible(tstate: ThreadState, sigma_c: Store, sigma_o: Store,
 
 
 def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
-                sigma_o: Store, impl: ObjectImpl) -> List[StepOutcome]:
+                sigma_o: Store, impl: ObjectImpl,
+                footprints: bool = False,
+                alloc: Optional[Tuple[int, int]] = None
+                ) -> List[StepOutcome]:
     """All transitions of thread ``tid`` from the given configuration.
 
-    Returns ``[]`` when the thread is finished or blocked.
+    Returns ``[]`` when the thread is finished or blocked.  With
+    ``footprints`` the shared read/write footprint of the step is
+    attached to every outcome (for partial-order reduction); ``alloc``
+    routes method-code allocations through the sparse aligned allocator
+    of the address-symmetry reduction.
     """
 
     if not tstate.control:
@@ -425,6 +526,7 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
     abort_event: Event = (
         ObjAbortEvent(tid) if in_method else CltAbortEvent(tid)
     )
+    fp = Footprint() if footprints else None
 
     def abort() -> List[StepOutcome]:
         return [StepOutcome(None, sigma_c, sigma_o, abort_event)]
@@ -434,11 +536,13 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
         # Normalisation; flatten and execute the head of the expansion.
         return thread_step(
             ThreadState(push_control(stmt, rest), tstate.frame),
-            tid, sigma_c, sigma_o, impl,
+            tid, sigma_c, sigma_o, impl, footprints, alloc,
         )
     if isinstance(stmt, If):
-        env = (_method_env(tstate.frame, sigma_c, sigma_o) if in_method
-               else _client_env(sigma_c, sigma_o))
+        env = (_method_env(tstate.frame, sigma_c, sigma_o, fp) if in_method
+               else _client_env(sigma_c, sigma_o, fp))
+        if fp is not None:
+            fp.read_vars(stmt.cond.free_vars(), env)
         try:
             taken = eval_bool_in(stmt.cond, *env.read_stores())
         except EvalError:
@@ -446,10 +550,12 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
         branch = stmt.then if taken else stmt.els
         return [StepOutcome(
             ThreadState(push_control(branch, rest), tstate.frame),
-            sigma_c, sigma_o)]
+            sigma_c, sigma_o, footprint=fp)]
     if isinstance(stmt, While):
-        env = (_method_env(tstate.frame, sigma_c, sigma_o) if in_method
-               else _client_env(sigma_c, sigma_o))
+        env = (_method_env(tstate.frame, sigma_c, sigma_o, fp) if in_method
+               else _client_env(sigma_c, sigma_o, fp))
+        if fp is not None:
+            fp.read_vars(stmt.cond.free_vars(), env)
         try:
             taken = eval_bool_in(stmt.cond, *env.read_stores())
         except EvalError:
@@ -458,7 +564,8 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
             control = push_control(stmt.body, (stmt,) + rest)
         else:
             control = rest
-        return [StepOutcome(ThreadState(control, tstate.frame), sigma_c, sigma_o)]
+        return [StepOutcome(ThreadState(control, tstate.frame), sigma_c,
+                            sigma_o, footprint=fp)]
 
     # --- method call / return ----------------------------------------------
     if isinstance(stmt, Call):
@@ -509,8 +616,8 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
             OutputEvent(tid, value))]
 
     # --- atomic blocks and primitives ---------------------------------------
-    env = (_method_env(tstate.frame, sigma_c, sigma_o) if in_method
-           else _client_env(sigma_c, sigma_o))
+    env = (_method_env(tstate.frame, sigma_c, sigma_o, fp, alloc)
+           if in_method else _client_env(sigma_c, sigma_o, fp))
     body = stmt.body if isinstance(stmt, Atomic) else stmt
     try:
         finals = run_block(body, env)
@@ -523,5 +630,6 @@ def thread_step(tstate: ThreadState, tid: int, sigma_c: Store,
             frame = Frame(fin.locals, frame.retvar, frame.caller_control,
                           frame.method)
         outcomes.append(StepOutcome(
-            ThreadState(rest, frame), fin.sigma_c, fin.sigma_o))
+            ThreadState(rest, frame), fin.sigma_c, fin.sigma_o,
+            footprint=fp))
     return outcomes

@@ -37,6 +37,15 @@ class Table1Row:
     engine: str = "sequential"
     #: False when a sampling engine (random-walk) produced the verdict.
     exhaustive: bool = True
+    #: State-space reduction that was *effective* for the Definition-2
+    #: check ("none" when the program is outside the eligible fragment).
+    reduce: str = "none"
+    #: Performance counters of the Definition-2 product exploration.
+    nodes: int = 0
+    nodes_per_sec: float = 0.0
+    por_pruned: int = 0
+    sym_merged: int = 0
+    dedup_hit_rate: float = 0.0
 
     @staticmethod
     def _tick(flag: bool) -> str:
@@ -51,7 +60,14 @@ def verify_row(name: str, limits: Optional[Limits] = None,
     start = time.perf_counter()
     report = alg.verify(limits=limits, engine=engine)
     elapsed = time.perf_counter() - start
+    lin = report.linearizability
     return Table1Row(
+        reduce=getattr(lin, "reduce", "none"),
+        nodes=lin.nodes_explored,
+        nodes_per_sec=getattr(lin, "nodes_per_sec", 0.0),
+        por_pruned=getattr(lin, "por_pruned", 0),
+        sym_merged=getattr(lin, "sym_merged", 0),
+        dedup_hit_rate=getattr(lin, "dedup_hit_rate", 0.0),
         name=alg.name,
         display_name=alg.display_name,
         helping=alg.helping,
@@ -130,6 +146,12 @@ def table1_json(rows: Sequence[Table1Row]) -> List[dict]:
             "exhaustive": row.exhaustive,
             "seconds": row.seconds,
             "workload": row.workload,
+            "reduce": row.reduce,
+            "nodes": row.nodes,
+            "nodes_per_sec": round(row.nodes_per_sec, 1),
+            "por_pruned": row.por_pruned,
+            "sym_merged": row.sym_merged,
+            "dedup_hit_rate": round(row.dedup_hit_rate, 4),
         }
         for row in rows
     ]

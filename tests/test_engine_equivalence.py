@@ -6,6 +6,13 @@ algorithm at its seed workload it produces the same Definition-2 verdict
 the same history and observable-trace sets.  The random-walk engine is an
 under-approximation: everything it reports must be contained in the
 exhaustive result, and its results must be flagged non-exhaustive.
+
+The state-space reductions (:mod:`repro.reduce` — partial-order
+reduction plus address-symmetry canonicalization) claim to preserve the
+*exact* history and observable-trace sets; every registry algorithm is
+checked reduced-vs-unreduced here.  Node counts and terminal-config
+cardinalities are deliberately NOT compared across reduction modes —
+shrinking those is the point of the reduction.
 """
 
 import pytest
@@ -95,3 +102,110 @@ def test_engine_spec_spellings():
     assert by_string.histories == by_spec.histories
     with pytest.raises(Exception):
         explore(program, engine="warp-drive")
+
+
+# ---------------------------------------------------------------------------
+# Reduction on vs. off
+# ---------------------------------------------------------------------------
+
+from repro.engine.api import resolve_engine  # noqa: E402
+from repro.reduce import DEFAULT_REDUCE  # noqa: E402
+
+REDUCED = EngineSpec("sequential", reduce="por+sym")
+UNREDUCED = EngineSpec("sequential", reduce="none")
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_product_reduced_vs_unreduced(name):
+    """Definition-2 verdicts are invariant under the reductions, on
+    every registry algorithm at its seed workload."""
+
+    alg = get_algorithm(name)
+    red = _check(alg, REDUCED)
+    base = _check(alg, UNREDUCED)
+    assert base.reduce == "none"
+    assert red.ok == base.ok
+    assert red.bounded == base.bounded
+    assert red.aborted == base.aborted
+    # histories_checked is NOT compared: the product engine dedups on
+    # (config, Σ) with the history as a mere path label, so the count
+    # depends on traversal order in both modes.  The set-level identity
+    # is asserted exactly in test_explore_reduced_sets_equal.
+
+
+#: Algorithms whose 2x1 explore graph is *strictly* smaller reduced:
+#: the stack/queue implementations allocate a node per operation, so
+#: address symmetry and alloc-prioritization always merge something.
+#: The set-based lists and the elimination stack stay set-equal but not
+#: necessarily smaller (their 2x1 graphs barely interleave privately).
+STRICTLY_REDUCING = frozenset({
+    "treiber", "ms_lock_free_queue", "ms_two_lock_queue", "dglm_queue"})
+
+
+@pytest.mark.parametrize("name", algorithm_names())
+def test_explore_reduced_sets_equal(name):
+    """History/observable sets are *identical* reduced vs. unreduced."""
+
+    alg = get_algorithm(name)
+    program = mgc_program(alg.impl, alg.workload.menu,
+                          threads=2, ops_per_thread=1)
+    red = explore(program, engine=REDUCED)
+    base = explore(program, engine=UNREDUCED)
+    assert base.reduce == "none"
+    assert red.histories == base.histories
+    assert red.observables == base.observables
+    assert red.aborted == base.aborted
+    assert red.bounded == base.bounded
+    assert red.nodes <= base.nodes
+    if name in STRICTLY_REDUCING:
+        # These allocate per operation under por+sym, so at 2x1 the
+        # reduction must demonstrably prune interleavings *and* shrink
+        # the node count — a regression guard against the reduction
+        # silently degrading to a no-op.
+        assert red.reduce == "por+sym"
+        assert red.por_pruned + red.sym_merged > 0
+        assert red.nodes < base.nodes
+
+
+def test_parallel_reduced_equals_sequential_reduced():
+    alg = get_algorithm("treiber")
+    program = mgc_program(alg.impl, alg.workload.menu,
+                          threads=2, ops_per_thread=1)
+    seq = explore(program, engine=REDUCED)
+    par = explore(program, engine=EngineSpec("parallel", reduce="por+sym"))
+    assert par.histories == seq.histories
+    assert par.observables == seq.observables
+    assert par.aborted == seq.aborted
+    assert par.bounded == seq.bounded
+    # Canonical representatives are deterministic, so even the terminal
+    # configurations line up across processes.
+    assert len(par.terminal_configs) == len(seq.terminal_configs)
+
+
+def test_reduce_spellings_and_defaults():
+    assert resolve_engine(None).reduce == DEFAULT_REDUCE
+    assert resolve_engine("parallel").reduce == DEFAULT_REDUCE
+    assert resolve_engine("sequential+noreduce").reduce == "none"
+    assert resolve_engine("sequential+por").reduce == "por"
+    assert resolve_engine("parallel+memo+noreduce").reduce == "none"
+    spec = resolve_engine("sequential+por")
+    assert "reduce=por" in spec.describe()
+    assert "reduce=" not in resolve_engine(None).describe()
+    with pytest.raises(Exception):
+        EngineSpec("sequential", reduce="bogus")
+
+
+def test_ineligible_program_degrades_silently():
+    """CCAS packs pointers into ``2p+1`` arithmetic — outside the
+    pure-move fragment — so the reduction must switch itself off and
+    explore exactly the unreduced graph."""
+
+    alg = get_algorithm("ccas")
+    program = mgc_program(alg.impl, alg.workload.menu,
+                          threads=2, ops_per_thread=1)
+    red = explore(program, engine=REDUCED)
+    base = explore(program, engine=UNREDUCED)
+    assert red.reduce == "none"
+    assert red.por_pruned == 0 and red.sym_merged == 0
+    assert red.nodes == base.nodes
+    assert red.histories == base.histories

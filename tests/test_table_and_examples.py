@@ -36,6 +36,21 @@ class TestTable1Tooling:
         text = render_table1([row], timings=False)
         assert "Time" not in text
 
+    def test_row_carries_reduction_counters(self):
+        from repro.table import table1_json
+
+        row = verify_row("treiber", Limits(4000, 1_000_000))
+        assert row.verified
+        assert row.reduce == "por+sym"
+        assert row.nodes > 0 and row.nodes_per_sec > 0
+        assert row.por_pruned + row.sym_merged > 0
+        payload = table1_json([row])[0]
+        assert payload["reduce"] == "por+sym"
+        assert payload["nodes"] == row.nodes
+        assert payload["por_pruned"] == row.por_pruned
+        assert payload["sym_merged"] == row.sym_merged
+        assert 0.0 <= payload["dedup_hit_rate"] <= 1.0
+
 
 class TestPretty:
     def test_listing_contains_instrumentation(self):
