@@ -12,7 +12,9 @@ We demonstrate all three faces of the failure:
 2. Definition 3 fails — a client can print `1 1`, which no abstract
    execution prints (Theorem 4: the two criteria agree);
 3. the instrumented proof attempt fails — no ``linself`` placement makes
-   the obligations hold, and the checker shows the offending history.
+   the obligations hold, and the checker shows the offending history;
+4. the static race lint flags the unsynchronized read-modify-write with
+   no exploration at all — the cheapest of the four detectors.
 """
 
 from repro import Limits, check_equivalence_instance, verify_instrumented
@@ -62,6 +64,16 @@ def main():
                                 limits=LIMITS)
     print("proof        :", proof.summary())
     assert res2.linearizable.ok and res2.refines.ok and proof.ok
+
+    print("\n=== the static race lint sees it too ===")
+    from repro.analysis import lint_races
+
+    diags = lint_races(racy_counter())
+    for diag in diags:
+        print(diag.render())
+    assert [d.code for d in diags] == ["unsynchronized-rmw"]
+    assert lint_races(atomic_counter()) == []
+    print("atomic counter: clean")
 
 
 if __name__ == "__main__":

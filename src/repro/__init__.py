@@ -16,6 +16,10 @@ The package provides, end to end:
   Fig. 12 proof, and the Sec. 2.1 basic-logic ablation
   (:mod:`repro.logic`, :mod:`repro.assertions`);
 * the Definition-5 thread-local simulation (:mod:`repro.simulation`);
+* a static-analysis layer — CFGs and dataflow over the object language,
+  the Fig.-11 instrumentation linter, field-sensitive escape/ownership
+  analysis feeding the reductions, and a race lint that flags the
+  Sec.-2.4 non-linearizable counter (:mod:`repro.analysis`);
 * all 12 algorithms of Table 1 (:mod:`repro.algorithms`) and the table's
   regeneration (:mod:`repro.table`).
 
@@ -29,6 +33,7 @@ Quick start::
 
 from .algorithms import algorithm_names, all_algorithms, get_algorithm
 from .algorithms.base import Algorithm, VerificationReport, Workload
+from .analysis import AnalysisReport, Diagnostic, analyze_algorithm
 from .history import (
     check_object_linearizable,
     find_linearization,
@@ -60,6 +65,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Algorithm", "VerificationReport", "Workload",
     "algorithm_names", "all_algorithms", "get_algorithm",
+    "AnalysisReport", "Diagnostic", "analyze_algorithm",
     "check_object_linearizable", "find_linearization",
     "is_linearizable_history",
     "InstrumentedMethod", "InstrumentedObject", "commit", "ghost", "lin",

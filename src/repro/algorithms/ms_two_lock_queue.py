@@ -86,6 +86,43 @@ ENQ_LOCALS = ("x", "t", "lb")
 DEQ_LOCALS = ("h", "n", "res", "lb")
 
 
+def dispose_variant() -> ObjectImpl:
+    """The two-lock queue with explicit memory reclamation in ``deq``.
+
+    After swinging ``Head`` to the successor, the old sentinel node is
+    freed (both cells) while still holding ``HLock`` — the classic
+    two-lock queue from [23], which reclaims eagerly because the lock
+    guarantees no other dequeuer holds a reference.  Enqueuers never
+    touch ``Head``-side nodes, so the free is safe.
+
+    This is the repo's ``dispose`` workload for the reductions: with the
+    freed-block quarantine the program is sym-eligible, and the
+    reduced/unreduced history-set equality over it is asserted by the
+    test suite.
+    """
+
+    from ..lang.ast import Dispose, Var
+    from ..lang.builders import add
+
+    deq = seq(
+        lock_var("HLock"),
+        assign("h", "Head"),
+        atomic(NODE.load("n", "h", "next")),
+        if_(eq("n", 0),
+            assign("res", EMPTY),
+            seq(NODE.load("res", "n", "val"),
+                assign("Head", "n"),
+                Dispose(add("h", NODE.offset("next"))),
+                Dispose(Var("h")))),
+        unlock_var("HLock"),
+        ret("res"),
+    )
+    return ObjectImpl(
+        {"enq": MethodDef("enq", "v", ENQ_LOCALS, _enq_body(False)),
+         "deq": MethodDef("deq", "u", DEQ_LOCALS, deq)},
+        _initial_memory(), name="ms-two-lock-queue-dispose")
+
+
 def build() -> Algorithm:
     spec = queue_spec()
     phi = queue_phi()

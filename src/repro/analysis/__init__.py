@@ -1,0 +1,45 @@
+"""Static-analysis layer over the paper's object language.
+
+Three client passes share one CFG (:mod:`repro.analysis.cfg`) and two
+worklist engines (:mod:`repro.analysis.dataflow`):
+
+* :func:`lint_instrumented` — the Fig.-11 well-formedness linter for
+  instrumented objects (exactly one self linearization per completed
+  path, speculation resolved by commit, helping targets validated,
+  auxiliary state confined to auxiliary code);
+* :func:`lint_races` — the race/atomicity lint flagging unsynchronized
+  read/write pairs on shared-reachable locations (fires on the Sec-2.4
+  non-linearizable counter);
+* :func:`analyze_escape` — the field-sensitive escape/ownership
+  analysis feeding the POR/symmetry reductions a per-record field reach
+  and exact static shared roots instead of one coarse program-wide
+  offset.
+
+``python -m repro.analysis`` runs all of it over the 12 Table-1
+algorithms plus the ``examples/`` counters and compares against the
+checked-in baseline (``analysis_baseline.json``).
+"""
+
+from .cfg import CFG, Edge, build_cfg, reachable_nodes
+from .dataflow import solve_disjunctive, solve_lattice
+from .diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    analyze_algorithm,
+    analyze_all,
+    analyze_object,
+    builtin_extra_targets,
+)
+from .escape import DerefSite, EscapeInfo, analyze_escape
+from .lint import lint_instrumented
+from .races import lint_races
+
+__all__ = [
+    "CFG", "Edge", "build_cfg", "reachable_nodes",
+    "solve_disjunctive", "solve_lattice",
+    "AnalysisReport", "Diagnostic",
+    "analyze_algorithm", "analyze_all", "analyze_object",
+    "builtin_extra_targets",
+    "DerefSite", "EscapeInfo", "analyze_escape",
+    "lint_instrumented", "lint_races",
+]

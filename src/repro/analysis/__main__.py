@@ -1,0 +1,84 @@
+"""``python -m repro.analysis`` — run the static layer from the shell.
+
+Default output is one summary line per target; ``--json`` emits the
+full machine-readable reports.  ``--baseline PATH`` compares the
+diagnostic keys against a checked-in baseline and exits non-zero on
+*new* diagnostics (resolved ones are reported but benign), which is how
+the CI ``lint`` job keeps the 12 algorithms clean while pinning the
+racy-counter positive control.  ``--write-baseline PATH`` refreshes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from .diagnostics import AnalysisReport, analyze_all
+
+
+def _baseline_map(reports: List[AnalysisReport]) -> Dict[str, List[str]]:
+    return {r.name: sorted(d.key() for d in r.diagnostics)
+            for r in reports}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over the Table-1 algorithms and "
+                    "the examples/ counters.")
+    parser.add_argument("names", nargs="*",
+                        help="registry algorithms to analyze "
+                             "(default: all 12 + builtin examples)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit full JSON reports")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="fail on diagnostics not in this baseline")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the current diagnostics as baseline")
+    args = parser.parse_args(argv)
+
+    reports = analyze_all(args.names or None)
+
+    if args.json:
+        print(json.dumps([r.to_json() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.summary())
+        total = sum(len(r.diagnostics) for r in reports)
+        print(f"-- {len(reports)} target(s), {total} diagnostic(s)")
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as fh:
+            json.dump(_baseline_map(reports), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {args.write_baseline}")
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline: Dict[str, List[str]] = json.load(fh)
+        current = _baseline_map(reports)
+        for name, keys in sorted(current.items()):
+            known = set(baseline.get(name, []))
+            new = [k for k in keys if k not in known]
+            gone = [k for k in known if k not in keys]
+            for key in new:
+                print(f"NEW diagnostic in {name}: {key}")
+                status = 1
+            for key in gone:
+                print(f"resolved (update baseline?) {name}: {key}")
+        missing = set(baseline) - set(current)
+        for name in sorted(missing):
+            if baseline[name]:
+                print(f"baseline target {name} not analyzed; "
+                      f"its diagnostics were not re-checked")
+        if status == 0:
+            print("baseline check: OK")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Control-flow graphs for the object language (:mod:`repro.lang.ast`).
+
+A :class:`CFG` is built per statement (typically one method body or one
+client).  Nodes are integer program points; edges carry either one
+*primitive* statement (including the instrumentation commands of
+:mod:`repro.instrument.commands`, which the plain AST walkers treat as
+opaque) or an ``assume`` guard recording which branch of an ``If`` /
+``While`` condition was taken.
+
+Atomic blocks are inlined — their internal branching is real control
+flow the analyses must see — but every edge inside one carries the
+region id of its enclosing ``Atomic``, so clients can tell synchronized
+accesses apart from plain ones and group the effects of one atomic step.
+
+``Return`` edges jump to the distinguished :attr:`CFG.exit` node; the
+structural tail of the statement falls through to ``exit`` as well, so
+"every path to exit" is exactly "every method path" (a trailing
+``Noret`` abort is the semantics' concern, not the CFG's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast import (
+    Atomic,
+    BoolExpr,
+    If,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    While,
+)
+
+#: Edge kinds.
+STMT = "stmt"
+ASSUME = "assume"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One CFG edge.
+
+    ``kind == "stmt"``: ``stmt`` is the primitive statement executed.
+    ``kind == "assume"``: ``cond``/``polarity`` record the branch taken.
+    ``atomic`` is the region id of the enclosing ``Atomic`` block
+    (0 when the edge executes outside any atomic block).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    stmt: Optional[Stmt] = None
+    cond: Optional[BoolExpr] = None
+    polarity: bool = True
+    atomic: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == ASSUME:
+            label = f"assume({'' if self.polarity else 'not '}{self.cond})"
+        else:
+            label = str(self.stmt)
+        marker = f" [atomic#{self.atomic}]" if self.atomic else ""
+        return f"{self.src} --{label}--> {self.dst}{marker}"
+
+
+@dataclass
+class CFG:
+    entry: int
+    exit: int
+    edges: List[Edge] = field(default_factory=list)
+    succs: Dict[int, List[Edge]] = field(default_factory=dict)
+    preds: Dict[int, List[Edge]] = field(default_factory=dict)
+    n_nodes: int = 0
+
+    def _add_edge(self, edge: Edge) -> None:
+        self.edges.append(edge)
+        self.succs.setdefault(edge.src, []).append(edge)
+        self.preds.setdefault(edge.dst, []).append(edge)
+
+    def out_edges(self, node: int) -> List[Edge]:
+        return self.succs.get(node, [])
+
+    def in_edges(self, node: int) -> List[Edge]:
+        return self.preds.get(node, [])
+
+    def return_edges(self) -> List[Edge]:
+        """All ``Return`` statement edges (they always target ``exit``)."""
+
+        return [e for e in self.edges
+                if e.kind == STMT and isinstance(e.stmt, Return)]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG(entry=0, exit=-1)
+        self._next = 1
+        self._atomic_regions = 0
+
+    def fresh(self) -> int:
+        node = self._next
+        self._next += 1
+        return node
+
+    def stmt_edge(self, src: int, dst: int, stmt: Stmt, atomic: int) -> None:
+        self.cfg._add_edge(Edge(src, dst, STMT, stmt=stmt, atomic=atomic))
+
+    def assume_edge(self, src: int, dst: int, cond: BoolExpr,
+                    polarity: bool, atomic: int) -> None:
+        self.cfg._add_edge(Edge(src, dst, ASSUME, cond=cond,
+                                polarity=polarity, atomic=atomic))
+
+    def build(self, stmt: Stmt, src: int, atomic: int) -> int:
+        """Wire ``stmt`` starting at ``src``; return its fall-through node.
+
+        ``exit`` (= -1) as the returned node means every path through
+        ``stmt`` ended in a ``Return``.
+        """
+
+        if src == self.cfg.exit:
+            return src  # unreachable code after a Return on all paths
+        if isinstance(stmt, Skip):
+            return src
+        if isinstance(stmt, Seq):
+            node = src
+            for sub in stmt.stmts:
+                node = self.build(sub, node, atomic)
+            return node
+        if isinstance(stmt, If):
+            then_in = self.fresh()
+            else_in = self.fresh()
+            out = self.fresh()
+            self.assume_edge(src, then_in, stmt.cond, True, atomic)
+            self.assume_edge(src, else_in, stmt.cond, False, atomic)
+            then_out = self.build(stmt.then, then_in, atomic)
+            else_out = self.build(stmt.els, else_in, atomic)
+            for branch_out in (then_out, else_out):
+                if branch_out != self.cfg.exit:
+                    self.stmt_edge(branch_out, out, Skip(), atomic)
+            return out
+        if isinstance(stmt, While):
+            head = self.fresh()
+            body_in = self.fresh()
+            out = self.fresh()
+            self.stmt_edge(src, head, Skip(), atomic)
+            self.assume_edge(head, body_in, stmt.cond, True, atomic)
+            self.assume_edge(head, out, stmt.cond, False, atomic)
+            body_out = self.build(stmt.body, body_in, atomic)
+            if body_out != self.cfg.exit:
+                self.stmt_edge(body_out, head, Skip(), atomic)
+            return out
+        if isinstance(stmt, Atomic):
+            self._atomic_regions += 1
+            return self.build(stmt.body, src, self._atomic_regions)
+        if isinstance(stmt, Return):
+            self.stmt_edge(src, self.cfg.exit, stmt, atomic)
+            return self.cfg.exit
+        # Every other statement — primitives, Call/Print/Noret, and the
+        # instrumentation commands — is one opaque edge.
+        dst = self.fresh()
+        self.stmt_edge(src, dst, stmt, atomic)
+        return dst
+
+
+def build_cfg(stmt: Stmt) -> CFG:
+    """The control-flow graph of one statement (method body or client)."""
+
+    builder = _Builder()
+    tail = builder.build(stmt, builder.cfg.entry, 0)
+    cfg = builder.cfg
+    if tail != cfg.exit:
+        cfg._add_edge(Edge(tail, cfg.exit, STMT, stmt=Skip()))
+    cfg.n_nodes = builder._next
+    return cfg
+
+
+def reachable_nodes(cfg: CFG) -> Tuple[int, ...]:
+    """Nodes reachable from entry, in discovery (roughly topological) order."""
+
+    seen = {cfg.entry}
+    order = [cfg.entry]
+    stack = [cfg.entry]
+    while stack:
+        node = stack.pop()
+        for edge in cfg.out_edges(node):
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                order.append(edge.dst)
+                stack.append(edge.dst)
+    return tuple(order)

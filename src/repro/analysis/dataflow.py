@@ -1,0 +1,102 @@
+"""Generic worklist solvers over :class:`repro.analysis.cfg.CFG`.
+
+Two engines cover the analyses in this package:
+
+* :func:`solve_lattice` — classic forward dataflow: one abstract state
+  per node, a ``join`` to merge incoming states, a ``transfer`` per
+  edge.  Used by the field-sensitive escape analysis, whose domain is a
+  map lattice of value intervals.
+* :func:`solve_disjunctive` — disjunctive (powerset) abstract
+  interpretation: a *set* of path facts per node; the transfer function
+  maps one fact across one edge to zero or more facts (zero = the edge
+  is infeasible for that fact, several = nondeterministic fan-out).
+  Used by the instrumentation linter and the race lint, which need
+  guard correlations (``b = 1`` ⟺ the cas succeeded ⟺ ``linself`` ran)
+  that a join-based domain would destroy.
+
+Both terminate on finite-height inputs; :func:`solve_disjunctive`
+additionally enforces a per-node fact cap, widening overflowing facts
+through a caller-supplied hook so pathological programs degrade to a
+coarser answer instead of diverging.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, TypeVar
+
+from .cfg import CFG, Edge
+
+State = TypeVar("State")
+Fact = TypeVar("Fact")
+
+#: Per-node fact cap for the disjunctive engine.  The registry method
+#: bodies stay well under a hundred facts per point; the cap only guards
+#: against pathological inputs.
+FACT_CAP = 4096
+
+
+def solve_lattice(cfg: CFG, init: State,
+                  transfer: Callable[[Edge, State], Optional[State]],
+                  join: Callable[[State, State], State],
+                  max_iterations: int = 100_000) -> Dict[int, State]:
+    """Forward dataflow fixpoint; returns the state at every node.
+
+    ``transfer`` may return ``None`` for an infeasible edge.  ``join``
+    must be associative/commutative/idempotent and monotone for the
+    fixpoint to be the least one; the iteration bound is a safety net
+    for non-ascending chains (raises ``RuntimeError`` when exceeded).
+    """
+
+    states: Dict[int, State] = {cfg.entry: init}
+    work = [cfg.entry]
+    steps = 0
+    while work:
+        steps += 1
+        if steps > max_iterations:
+            raise RuntimeError("dataflow did not stabilize "
+                               f"in {max_iterations} iterations")
+        node = work.pop()
+        state = states.get(node)
+        if state is None:
+            continue
+        for edge in cfg.out_edges(node):
+            out = transfer(edge, state)
+            if out is None:
+                continue
+            old = states.get(edge.dst)
+            new = out if old is None else join(old, out)
+            if old is None or new != old:
+                states[edge.dst] = new
+                work.append(edge.dst)
+    return states
+
+
+def solve_disjunctive(cfg: CFG, init: Iterable[Fact],
+                      transfer: Callable[[Edge, Fact], Iterable[Fact]],
+                      widen: Optional[Callable[[Fact], Fact]] = None,
+                      fact_cap: int = FACT_CAP) -> Dict[int, set]:
+    """Disjunctive fixpoint: the set of reachable path facts per node.
+
+    Facts must be hashable.  When a node's fact set exceeds ``fact_cap``
+    each new fact is first coarsened through ``widen`` (identity when
+    not given); widened facts re-enter the propagation, so the result
+    is still a sound over-approximation — just a cheaper one.
+    """
+
+    facts: Dict[int, set] = {cfg.entry: set()}
+    work = []
+    for fact in init:
+        if fact not in facts[cfg.entry]:
+            facts[cfg.entry].add(fact)
+            work.append((cfg.entry, fact))
+    while work:
+        node, fact = work.pop()
+        for edge in cfg.out_edges(node):
+            dst_facts = facts.setdefault(edge.dst, set())
+            for out in transfer(edge, fact):
+                if widen is not None and len(dst_facts) >= fact_cap:
+                    out = widen(out)
+                if out not in dst_facts:
+                    dst_facts.add(out)
+                    work.append((edge.dst, out))
+    return facts

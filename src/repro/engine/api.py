@@ -29,7 +29,12 @@ from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from ..errors import ReproError
-from ..reduce.policy import DEFAULT_REDUCE, REDUCE_MODES
+from ..reduce.policy import (
+    DEFAULT_REDUCE,
+    OWNERSHIP_FIELD,
+    OWNERSHIP_MODES,
+    REDUCE_MODES,
+)
 
 SEQUENTIAL = "sequential"
 PARALLEL = "parallel"
@@ -63,6 +68,11 @@ class EngineSpec:
     #: filters the mode down to what is provably sound for it, so the
     #: explored history/observable sets never change.
     reduce: str = DEFAULT_REDUCE
+    #: Ownership granularity the eligibility scan uses: ``"field"``
+    #: (default) refines offsets/roots with the field-sensitive escape
+    #: analysis of :mod:`repro.analysis.escape`; ``"coarse"`` keeps the
+    #: plain syntactic scan (the E13 ablation).
+    ownership: str = OWNERSHIP_FIELD
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -72,6 +82,10 @@ class EngineSpec:
             raise ReproError(
                 f"unknown reduction mode {self.reduce!r}; "
                 f"known: {REDUCE_MODES}")
+        if self.ownership not in OWNERSHIP_MODES:
+            raise ReproError(
+                f"unknown ownership mode {self.ownership!r}; "
+                f"known: {OWNERSHIP_MODES}")
 
     @property
     def sequential(self) -> bool:
@@ -99,6 +113,8 @@ class EngineSpec:
             bits.append("memo")
         if self.reduce != DEFAULT_REDUCE:
             bits.append(f"reduce={self.reduce}")
+        if self.ownership != OWNERSHIP_FIELD:
+            bits.append(f"ownership={self.ownership}")
         return ",".join(bits)
 
 
@@ -117,9 +133,11 @@ def resolve_engine(engine: Engine) -> EngineSpec:
     if isinstance(engine, str):
         memo = False
         reduce = DEFAULT_REDUCE
+        ownership = OWNERSHIP_FIELD
         kind = engine
         # Suffix spellings: "+memo" toggles the cache, "+noreduce" /
-        # "+por" pick a reduction mode ("parallel+memo+noreduce", ...).
+        # "+por" pick a reduction mode, "+coarse" the syntactic
+        # ownership scan ("parallel+memo+noreduce", "sequential+coarse").
         changed = True
         while changed:
             changed = True
@@ -132,9 +150,13 @@ def resolve_engine(engine: Engine) -> EngineSpec:
             elif kind.endswith("+por"):
                 reduce = "por"
                 kind = kind[: -len("+por")]
+            elif kind.endswith("+coarse"):
+                ownership = "coarse"
+                kind = kind[: -len("+coarse")]
             else:
                 changed = False
-        return EngineSpec(kind=kind, memo=memo, reduce=reduce)
+        return EngineSpec(kind=kind, memo=memo, reduce=reduce,
+                          ownership=ownership)
     raise ReproError(f"cannot interpret engine argument {engine!r}")
 
 

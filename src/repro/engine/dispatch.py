@@ -45,10 +45,16 @@ def _reduce_extras(spec: EngineSpec) -> tuple:
     Reduction preserves the history/observable *sets* and every verdict,
     but changes node counts, terminal-configuration representatives and
     the perf counters carried by results — so reduced and unreduced runs
-    must not share a memo entry.
+    must not share a memo entry.  The coarse-ownership ablation changes
+    the same observables and gets its own entries; the default
+    field-sensitive mode keeps the unsuffixed keys so existing caches
+    stay valid for the programs it does not change.
     """
 
-    return ("reduce", spec.reduce)
+    extras = ("reduce", spec.reduce)
+    if spec.ownership != "field":
+        extras += ("ownership", spec.ownership)
+    return extras
 
 
 def _callable_id(obj) -> Optional[str]:
@@ -104,15 +110,18 @@ def dispatch_explore(program, limits, spec: EngineSpec):
 
         result = random_walk_explore(program, limits,
                                      walks=spec.walks, seed=spec.seed,
-                                     reduce=spec.reduce)
+                                     reduce=spec.reduce,
+                                     ownership=spec.ownership)
     elif spec.kind == PARALLEL:
         from .parallel import ExploreProblem, run_parallel
 
         result = run_parallel(ExploreProblem(program, limits,
-                                             reduce=spec.reduce),
+                                             reduce=spec.reduce,
+                                             ownership=spec.ownership),
                               spec.effective_workers(), spec.spill_nodes)
     else:
-        result = Explorer(program, limits, reduce=spec.reduce).run()
+        result = Explorer(program, limits, reduce=spec.reduce,
+                          ownership=spec.ownership).run()
 
     _memo_store(cache, key, result)
     return result
@@ -140,23 +149,27 @@ def dispatch_product_lin(program, ospec, limits, theta, spec: EngineSpec):
 
         result = random_walk_lin(program, ospec, limits,
                                  walks=spec.walks, seed=spec.seed,
-                                 theta=theta, reduce=spec.reduce)
+                                 theta=theta, reduce=spec.reduce,
+                                 ownership=spec.ownership)
     elif spec.kind == PARALLEL:
         from .parallel import ProductLinProblem, run_parallel
 
         result = run_parallel(ProductLinProblem(program, ospec, limits,
                                                 theta=theta,
-                                                reduce=spec.reduce),
+                                                reduce=spec.reduce,
+                                                ownership=spec.ownership),
                               spec.effective_workers(), spec.spill_nodes)
     else:
         result = _sequential_product_lin(program, ospec, limits, theta,
-                                         reduce=spec.reduce)
+                                         reduce=spec.reduce,
+                                         ownership=spec.ownership)
 
     _memo_store(cache, key, result)
     return result
 
 
-def _sequential_product_lin(program, ospec, limits, theta, reduce=None):
+def _sequential_product_lin(program, ospec, limits, theta, reduce=None,
+                            ownership="field"):
     """The exact sequential product search (memoized entry point)."""
 
     from ..history.monitor import SpecMonitor
@@ -168,10 +181,11 @@ def _sequential_product_lin(program, ospec, limits, theta, reduce=None):
     from ..semantics.scheduler import Explorer
 
     monitor = SpecMonitor(ospec)
-    explorer = Explorer(program, reduce=reduce)
+    explorer = Explorer(program, reduce=reduce, ownership=ownership)
     states0 = monitor.initial(theta)
     out = ObjectLinResult(ok=True)
     out.reduce = explorer.policy.effective
+    out.reduce_reasons = explorer.policy.reasons
     distinct_histories = {()}
     spilled = product_run_from(
         explorer, monitor, limits, product_start_nodes(explorer, states0),

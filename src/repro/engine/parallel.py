@@ -175,10 +175,11 @@ class ParallelDriver:
 class ExploreProblem:
     """Plain interleaving exploration (:class:`repro.semantics.scheduler.Explorer`)."""
 
-    def __init__(self, program, limits, reduce=None):
+    def __init__(self, program, limits, reduce=None, ownership="field"):
         from ..semantics.scheduler import Explorer
 
-        self.explorer = Explorer(program, limits, reduce=reduce)
+        self.explorer = Explorer(program, limits, reduce=reduce,
+                                 ownership=ownership)
         self.max_nodes = self.explorer.limits.max_nodes
         # Canonical-digest view of terminal configs: Config equality is
         # statement-identity-based and does not survive pickling, so the
@@ -194,6 +195,7 @@ class ExploreProblem:
 
         acc = ExplorationResult(engine="parallel")
         acc.reduce = self.explorer.policy.effective
+        acc.reduce_reasons = self.explorer.policy.reasons
         acc.histories.add(())
         acc.observables.add(())
         return acc
@@ -246,13 +248,15 @@ class ExploreProblem:
 class ProductLinProblem:
     """The Definition-2 product engine (configurations × monitor)."""
 
-    def __init__(self, program, spec, limits, theta=None, reduce=None):
+    def __init__(self, program, spec, limits, theta=None, reduce=None,
+                 ownership="field"):
         from ..history.monitor import SpecMonitor
         from ..semantics.scheduler import Explorer, Limits
 
         self.limits = limits or Limits()
         self.monitor = SpecMonitor(spec)
-        self.explorer = Explorer(program, reduce=reduce)
+        self.explorer = Explorer(program, reduce=reduce,
+                                 ownership=ownership)
         self.states0 = self.monitor.initial(theta)
         self.max_nodes = self.limits.max_nodes
         self._distinct_histories = {()}
@@ -262,6 +266,7 @@ class ProductLinProblem:
 
         acc = ObjectLinResult(ok=True, engine="parallel")
         acc.reduce = self.explorer.policy.effective
+        acc.reduce_reasons = self.explorer.policy.reasons
         return acc
 
     def roots(self):

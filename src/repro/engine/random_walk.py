@@ -34,7 +34,8 @@ from ..semantics.scheduler import (
 
 def random_walk_explore(program: Program, limits: Optional[Limits] = None,
                         walks: int = 256, seed: int = 0,
-                        reduce: Optional[str] = None
+                        reduce: Optional[str] = None,
+                        ownership: str = "field"
                         ) -> ExplorationResult:
     """Sample ``walks`` executions; returns a partial exploration result.
 
@@ -43,11 +44,13 @@ def random_walk_explore(program: Program, limits: Optional[Limits] = None,
     so the under-approximation guarantee is unchanged.
     """
 
-    explorer = Explorer(program, limits, reduce=reduce)
+    explorer = Explorer(program, limits, reduce=reduce,
+                        ownership=ownership)
     limits = explorer.limits
     rng = random.Random(seed)
     result = ExplorationResult(engine="random-walk", exhaustive=False)
     result.reduce = explorer.policy.effective
+    result.reduce_reasons = explorer.policy.reasons
     result.histories.add(())
     result.observables.add(())
     starts = explorer.start_nodes()
@@ -85,7 +88,7 @@ def random_walk_explore(program: Program, limits: Optional[Limits] = None,
 
 def random_walk_lin(program: Program, spec, limits: Optional[Limits] = None,
                     walks: int = 256, seed: int = 0, theta=None,
-                    reduce: Optional[str] = None):
+                    reduce: Optional[str] = None, ownership: str = "field"):
     """Sampled Definition-2 check: walk the product graph, monitor Δ.
 
     A violation found is real; ``ok=True`` only means no violation was
@@ -95,12 +98,13 @@ def random_walk_lin(program: Program, spec, limits: Optional[Limits] = None,
     from ..history.monitor import SpecMonitor
     from ..history.object_lin import ObjectLinResult
 
-    explorer = Explorer(program, reduce=reduce)
+    explorer = Explorer(program, reduce=reduce, ownership=ownership)
     limits = limits or Limits()
     monitor = SpecMonitor(spec)
     rng = random.Random(seed)
     out = ObjectLinResult(ok=True, engine="random-walk", exhaustive=False)
     out.reduce = explorer.policy.effective
+    out.reduce_reasons = explorer.policy.reasons
     distinct = {()}
     starts = explorer.initial_nodes()
     if not starts:

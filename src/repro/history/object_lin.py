@@ -57,6 +57,7 @@ class ObjectLinResult:
     #: Reduction mode actually in force and its perf counters (see
     #: :class:`repro.semantics.scheduler.ExplorationResult`).
     reduce: str = "none"
+    reduce_reasons: Tuple[str, ...] = ()
     por_pruned: int = 0
     sym_merged: int = 0
     dedup_hits: int = 0
@@ -223,10 +224,12 @@ def check_program_linearizable(program: Program, spec: OSpec,
 
     limits = limits or Limits()
     monitor = SpecMonitor(spec)
-    explorer = Explorer(program, reduce=spec_engine.reduce)
+    explorer = Explorer(program, reduce=spec_engine.reduce,
+                        ownership=spec_engine.ownership)
     states0 = monitor.initial(theta)
     out = ObjectLinResult(ok=True)
     out.reduce = explorer.policy.effective
+    out.reduce_reasons = explorer.policy.reasons
     distinct_histories: Set[Trace] = {()}
 
     spilled = product_run_from(
@@ -256,6 +259,7 @@ def check_program_linearizable_definitional(
                           engine=result.engine,
                           exhaustive=result.exhaustive,
                           reduce=result.reduce,
+                          reduce_reasons=result.reduce_reasons,
                           por_pruned=result.por_pruned,
                           sym_merged=result.sym_merged,
                           dedup_hits=result.dedup_hits,

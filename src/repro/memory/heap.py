@@ -21,6 +21,15 @@ from .store import Store
 #: initial memories.
 HEAP_BASE = 1
 
+#: Reserved σ_o key holding the freed-block quarantine bitmask (bit ``k``
+#: set means sparse block ``base + k·stride`` was disposed and must never
+#: be reallocated).  Freed blocks would otherwise be reused while stale
+#: pointers still name them, which breaks both the symmetry renaming
+#: (two distinct permutation classes could merge) and the commutation of
+#: ``dispose`` with other threads' allocations.  The key is not a legal
+#: program variable, so no object code can observe it.
+QUARANTINE_KEY = "__quarantine__"
+
 
 def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE,
              stride: int = 1) -> Tuple[Store, int]:
@@ -30,7 +39,8 @@ def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE,
     ``base``.  A ``stride`` above 1 restricts candidate addresses to
     ``base + k·stride`` — the sparse aligned regime the address-symmetry
     reduction relies on (every allocation then occupies its own aligned
-    block, so the block base is recoverable from any interior address).
+    block, so the block base is recoverable from any interior address) —
+    and skips blocks in the :data:`QUARANTINE_KEY` bitmask.
     """
 
     size = max(len(values), 1)
@@ -38,9 +48,12 @@ def allocate(store: Store, values: Tuple[int, ...], base: int = HEAP_BASE,
         raise SemanticsError(
             f"allocation of {size} cells exceeds symmetry stride {stride}")
     used = {k for k in store if isinstance(k, int)}
+    mask = store[QUARANTINE_KEY] if stride > 1 \
+        and QUARANTINE_KEY in store else 0
     addr = base
     while True:
-        if all((addr + i) not in used for i in range(size)):
+        if not (mask >> ((addr - base) // stride)) & 1 \
+                and all((addr + i) not in used for i in range(size)):
             break
         addr += stride
     new = store.set_many((addr + i, v) for i, v in enumerate(values))

@@ -155,20 +155,31 @@ def render_perf(result) -> str:
     throughput, seen-set hit rate, and — when a reduction was active —
     how many successor edges partial-order reduction pruned and how many
     configurations address-symmetry canonicalization merged.
+
+    A memo-cache hit carries zero elapsed time and possibly zero nodes;
+    the summary then just marks the hit and omits every per-time rate
+    (never a division by zero).
     """
 
     nodes = getattr(result, "nodes", None)
     if nodes is None:
         nodes = getattr(result, "nodes_explored", 0)
     parts = [f"nodes={nodes}"]
-    rate = getattr(result, "nodes_per_sec", None)
-    if rate:
-        parts.append(f"nodes/sec={rate:,.0f}")
-    if getattr(result, "dedup_lookups", 0):
-        parts.append(f"dedup-hit-rate={result.dedup_hit_rate:.1%}")
+    if getattr(result, "from_cache", False):
+        parts.append("memo-hit")
+    elapsed = getattr(result, "elapsed", 0.0) or 0.0
+    if elapsed > 0 and nodes:
+        parts.append(f"nodes/sec={nodes / elapsed:,.0f}")
+    lookups = getattr(result, "dedup_lookups", 0)
+    if lookups:
+        hits = getattr(result, "dedup_hits", 0)
+        parts.append(f"dedup-hit-rate={hits / lookups:.1%}")
     reduce = getattr(result, "reduce", "none")
     parts.append(f"reduce={reduce}")
     if reduce != "none":
         parts.append(f"por-pruned={getattr(result, 'por_pruned', 0)}")
         parts.append(f"sym-merged={getattr(result, 'sym_merged', 0)}")
+    reasons = getattr(result, "reduce_reasons", ())
+    if reasons:
+        parts.append("reduce-held-back=[" + "; ".join(reasons) + "]")
     return "  ".join(parts)

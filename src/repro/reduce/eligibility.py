@@ -42,7 +42,7 @@ must fit the sparse-allocator stride.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, List, Tuple
 from weakref import WeakKeyDictionary
 
 from ..lang.ast import (
@@ -77,10 +77,17 @@ class Eligibility:
 
     por: bool            # partial-order reduction is sound
     sym: bool            # address-symmetry canonicalization is sound
-    max_offset: int      # largest literal field offset dereferenced
+    max_offset: int      # largest field offset counted for pointer reach
     max_alloc: int       # largest allocation size (cells), 0 if none
     value_consts: FrozenSet[int]  # literals that can become values
-    reason: str          # first disqualifying construct, for diagnostics
+    reasons: Tuple[str, ...] = ()  # every disqualifying construct found
+    has_dispose: bool = False      # program frees memory somewhere
+
+    @property
+    def reason(self) -> str:
+        """All recorded reasons, joined — legacy single-string view."""
+
+        return "; ".join(self.reasons)
 
 
 class _Scan:
@@ -91,11 +98,11 @@ class _Scan:
         self.max_offset = 0
         self.max_alloc = 0
         self.consts = set()
-        self.reason = ""
+        self.reasons: List[str] = []
 
     def _fail(self, flag: str, why: str) -> None:
-        if not self.reason:
-            self.reason = why
+        if why and why not in self.reasons:
+            self.reasons.append(why)
         if flag == "moves":
             self.pure_moves = False
         else:
@@ -177,15 +184,26 @@ class _Scan:
 _SCAN_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
 
 
-def scan_program(program) -> Eligibility:
-    """Scan every statement of ``program`` (clients and method bodies)."""
+def scan_program(program, field_sensitive: bool = True) -> Eligibility:
+    """Scan every statement of ``program`` (clients and method bodies).
+
+    With ``field_sensitive`` (the default) the coarse verdict is
+    refined by :func:`repro.analysis.escape.analyze_escape`: the
+    program-wide ``max_offset`` is replaced by the per-record field
+    reach of statically *unbounded* pointers, and the concrete cells
+    reachable through statically *bounded* bases join ``value_consts``
+    as exact shared roots.  Freed blocks are then handled by the
+    allocator quarantine, so ``Dispose`` no longer disqualifies
+    symmetry.  ``field_sensitive=False`` is the pre-refinement verdict,
+    kept for the coarse-ownership ablation.
+    """
 
     try:
         cached = _SCAN_CACHE.get(program)
     except TypeError:
         cached = None
-    if cached is not None:
-        return cached
+    if cached is not None and field_sensitive in cached:
+        return cached[field_sensitive]
 
     from ..reduce.symmetry import SYM_BASE, SYM_STRIDE
 
@@ -196,26 +214,58 @@ def scan_program(program) -> Eligibility:
         scan.stmt(method.body)
 
     por = scan.pure_moves and scan.offset_addrs
+    reasons = list(scan.reasons)
+    max_offset = scan.max_offset
+    value_consts = {v for v in scan.consts if isinstance(v, int)}
+
+    dispose_ok = not scan.has_dispose
+    if por and field_sensitive:
+        from ..analysis.escape import analyze_escape
+
+        esc = analyze_escape(program)
+        if esc.ok:
+            max_offset = esc.field_offset
+            value_consts |= esc.static_cells
+            # Freed sparse blocks are quarantined by the allocator, so
+            # dispose is compatible with the symmetry renaming.
+            dispose_ok = True
+        elif esc.reason:
+            reasons.append(f"field-sensitive refinement off: {esc.reason}")
+
     # A literal ≥ SYM_BASE could name a sparse block without appearing in
     # any store, defeating both the renaming and the reachability-based
     # garbage collection — so symmetry also demands small literals.
-    sym = por and not scan.has_dispose and scan.max_alloc <= SYM_STRIDE \
-        and scan.max_offset < SYM_STRIDE \
-        and all(not isinstance(v, int) or abs(v) < SYM_BASE
-                for v in scan.consts)
-    if por and not sym and not scan.reason:
-        scan.reason = "dispose or oversized record"
+    sym = por and dispose_ok and scan.max_alloc <= SYM_STRIDE \
+        and max_offset < SYM_STRIDE \
+        and all(abs(v) < SYM_BASE for v in value_consts)
+    if por and not sym:
+        if not dispose_ok:
+            reasons.append("dispose without quarantine")
+        if scan.max_alloc > SYM_STRIDE:
+            reasons.append(
+                f"record of {scan.max_alloc} cells exceeds the "
+                f"allocator stride {SYM_STRIDE}")
+        if max_offset >= SYM_STRIDE:
+            reasons.append(
+                f"field offset {max_offset} exceeds the allocator "
+                f"stride {SYM_STRIDE}")
+        if any(abs(v) >= SYM_BASE for v in value_consts):
+            reasons.append("literal collides with the sparse address "
+                           "range")
+        if len(reasons) == len(scan.reasons):
+            reasons.append("dispose or oversized record")
     result = Eligibility(
         por=por,
         sym=sym,
-        max_offset=scan.max_offset,
+        max_offset=max_offset,
         max_alloc=scan.max_alloc,
-        value_consts=frozenset(
-            v for v in scan.consts if isinstance(v, int)),
-        reason=scan.reason,
+        value_consts=frozenset(value_consts),
+        reasons=tuple(reasons),
+        has_dispose=scan.has_dispose,
     )
     try:
-        _SCAN_CACHE[program] = result
+        cache = _SCAN_CACHE.setdefault(program, {})
+        cache[field_sensitive] = result
     except TypeError:
         pass
     return result

@@ -80,10 +80,14 @@ def compute_owner(config, policy) -> Dict[int, int]:
     heap = config.sigma_o
     max_offset = policy.max_offset
 
+    from ..memory.heap import QUARANTINE_KEY
+
     blocks: Optional[Dict[int, list]] = {} if policy.sym else None
     shared_roots = list(policy.value_consts)
     for key, value in heap.items():
         if isinstance(key, str):
+            if key == QUARANTINE_KEY:
+                continue  # allocator bitmask, not a program value
             shared_roots.append(value)
         elif blocks is not None and key >= SYM_BASE:
             base = SYM_BASE + ((key - SYM_BASE) // SYM_STRIDE) * SYM_STRIDE

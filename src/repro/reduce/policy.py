@@ -13,6 +13,21 @@ REDUCE_POR = "por"
 REDUCE_POR_SYM = "por+sym"
 REDUCE_MODES = (REDUCE_NONE, REDUCE_POR, REDUCE_POR_SYM)
 
+#: Ownership granularities: ``field`` refines the eligibility verdict
+#: with the field-sensitive escape analysis; ``coarse`` is the plain
+#: syntactic scan, kept for the E13 ablation.
+OWNERSHIP_FIELD = "field"
+OWNERSHIP_COARSE = "coarse"
+OWNERSHIP_MODES = (OWNERSHIP_FIELD, OWNERSHIP_COARSE)
+
+
+def validate_ownership(mode: str) -> str:
+    if mode not in OWNERSHIP_MODES:
+        raise ValueError(
+            f"unknown ownership mode {mode!r}; expected one of "
+            f"{', '.join(OWNERSHIP_MODES)}")
+    return mode
+
 #: Default for sequential and parallel engines: everything on.  The
 #: eligibility scan silently drops whatever a given program cannot
 #: support, so the default is always safe.
@@ -44,6 +59,9 @@ class ReductionPolicy:
     max_offset: int = 0
     value_consts: FrozenSet[int] = frozenset()
     alloc: Optional[Tuple[int, int]] = None
+    quarantine: bool = False
+    ownership: str = OWNERSHIP_FIELD
+    reasons: Tuple[str, ...] = ()
 
     @property
     def active(self) -> bool:
@@ -62,16 +80,19 @@ class ReductionPolicy:
 INERT_POLICY = ReductionPolicy(mode=REDUCE_NONE)
 
 
-def resolve_policy(program, mode: Optional[str]) -> ReductionPolicy:
+def resolve_policy(program, mode: Optional[str],
+                   ownership: str = OWNERSHIP_FIELD) -> ReductionPolicy:
     """Resolve a requested mode against ``program``'s eligibility."""
 
     if mode is None:
         mode = DEFAULT_REDUCE
     validate_reduce(mode)
+    validate_ownership(ownership)
     if mode == REDUCE_NONE:
         return INERT_POLICY
 
-    elig = scan_program(program)
+    elig = scan_program(program,
+                        field_sensitive=ownership == OWNERSHIP_FIELD)
     por = elig.por
     sym = mode == REDUCE_POR_SYM and elig.sym
     return ReductionPolicy(
@@ -82,4 +103,7 @@ def resolve_policy(program, mode: Optional[str]) -> ReductionPolicy:
         max_offset=elig.max_offset,
         value_consts=elig.value_consts,
         alloc=(SYM_BASE, SYM_STRIDE) if sym else None,
+        quarantine=sym and elig.has_dispose,
+        ownership=ownership,
+        reasons=elig.reasons,
     )

@@ -91,20 +91,33 @@ def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
     avoid an import cycle).
     """
 
+    from ..memory.heap import QUARANTINE_KEY
+
     sigma_o = config.sigma_o
     blocks: Dict[int, List[Tuple[int, int]]] = {}
     named: List[str] = []
     dense: List[int] = []
+    mask = 0
+    has_mask = False
     for key, value in sigma_o.items():
         if isinstance(key, int):
             if key >= SYM_BASE:
                 blocks.setdefault(_block_base(key), []).append((key, value))
             else:
                 dense.append(key)
+        elif key == QUARANTINE_KEY:
+            # The freed-block quarantine bitmask is allocator state, not
+            # a program value: it must be renamed *by block index*, not
+            # walked as a root (its integer value is no address).
+            mask = value
+            has_mask = True
         else:
             named.append(key)
-    if not blocks:
+    if not blocks and not mask:
         return config, False
+
+    def quarantined(base: int) -> bool:
+        return bool((mask >> ((base - SYM_BASE) // SYM_STRIDE)) & 1)
 
     order: List[int] = []
     seen = set()
@@ -113,7 +126,7 @@ def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
         """Record a discovered base; False on an anomalous address."""
         if isinstance(value, int) and value >= SYM_BASE:
             base = _block_base(value)
-            if base not in blocks:
+            if base not in blocks and not quarantined(base):
                 return False
             if base not in seen:
                 seen.add(base)
@@ -151,7 +164,7 @@ def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
     while index < len(order):
         base = order[index]
         index += 1
-        for _cell, value in blocks[base]:
+        for _cell, value in blocks.get(base, ()):
             if not visit(value):
                 return config, False
 
@@ -159,7 +172,15 @@ def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
     pi: Dict[int, int] = {
         base: SYM_BASE + i * SYM_STRIDE for i, base in enumerate(order)
     }
-    if not garbage and all(src == dst for src, dst in pi.items()):
+    # Quarantine bits travel with their block through π; bits of blocks
+    # no pointer reaches anymore are dropped — nothing can ever name the
+    # address again, so the allocator may reuse the slot.
+    new_mask = 0
+    for i, base in enumerate(order):
+        if quarantined(base):
+            new_mask |= 1 << i
+    if not garbage and new_mask == mask \
+            and all(src == dst for src, dst in pi.items()):
         return config, False
 
     def rename(value):
@@ -170,11 +191,17 @@ def canonicalize_config(config, store_cls) -> Tuple[object, bool]:
 
     new_o = {}
     for key, value in sigma_o.items():
+        if key == QUARANTINE_KEY:
+            continue  # re-added below, renamed by block index
         if isinstance(key, int) and key >= SYM_BASE:
             if _block_base(key) in garbage:
                 continue  # collected: unreachable, hence inert forever
             key = rename(key)
         new_o[key] = rename(value)
+    if has_mask and new_mask:
+        # A vanished mask (all quarantined blocks became unreachable) is
+        # dropped entirely so such configs merge with never-disposed ones.
+        new_o[QUARANTINE_KEY] = new_mask
 
     new_threads = []
     threads_changed = False

@@ -114,6 +114,9 @@ class ExplorationResult:
     #: The reduction mode actually in force ("none" / "por" / "por+sym"
     #: after eligibility filtering — see :mod:`repro.reduce`).
     reduce: str = "none"
+    #: Why the eligibility scan withheld reductions (empty when nothing
+    #: was withheld) — surfaced by ``render_perf`` and Table 1.
+    reduce_reasons: Tuple[str, ...] = ()
     #: Perf counters.  ``por_pruned`` counts successor edges partial-order
     #: reduction skipped; ``sym_merged`` counts successors redirected to a
     #: canonical address-permutation representative; the dedup pair gives
@@ -159,12 +162,12 @@ class Explorer:
     """
 
     def __init__(self, program: Program, limits: Optional[Limits] = None,
-                 reduce: Optional[str] = None):
+                 reduce: Optional[str] = None, ownership: str = "field"):
         self.program = program
         self.impl: ObjectImpl = program.object_impl
         self.limits = limits or Limits()
         self.private_client_vars = program.private_client_vars
-        self.policy = resolve_policy(program, reduce)
+        self.policy = resolve_policy(program, reduce, ownership=ownership)
         self.interner: Optional[Interner] = (
             Interner() if self.policy.intern else None)
         # Reduction counters, accumulated across run_from calls; the
@@ -220,6 +223,7 @@ class Explorer:
     def run(self) -> ExplorationResult:
         result = ExplorationResult()
         result.reduce = self.policy.effective
+        result.reduce_reasons = self.policy.reasons
         result.histories.add(())
         result.observables.add(())
         spilled = self.run_from(self.start_nodes(), self.limits.max_nodes,
@@ -337,8 +341,11 @@ class Explorer:
         permutation of the two fresh blocks — exactly what
         :func:`canonicalize_config` merges, and since no address ever
         escapes into an event (``check_event_escape``), the history and
-        observable sets coincide.  ``dispose`` would break the argument,
-        but the sym-eligible fragment has none.
+        observable sets coincide.  ``dispose`` (also an allocator-state
+        step) commutes for the same reason: the freed block's slot is
+        skipped by every later allocation either through the quarantine
+        bitmask (dispose first) or through the still-live cells (dispose
+        second), so both orders pick identical fresh addresses.
         """
 
         policy = self.policy
@@ -430,7 +437,8 @@ def explore(program: Program, limits: Optional[Limits] = None,
 
     spec = resolve_engine(engine)
     if spec.sequential and not spec.memo:
-        return Explorer(program, limits, reduce=spec.reduce).run()
+        return Explorer(program, limits, reduce=spec.reduce,
+                        ownership=spec.ownership).run()
 
     from ..engine.dispatch import dispatch_explore
 

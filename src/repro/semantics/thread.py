@@ -42,7 +42,7 @@ from ..lang.ast import (
     While,
 )
 from ..lang.program import MethodDef, ObjectImpl
-from ..memory.heap import allocate, dispose
+from ..memory.heap import QUARANTINE_KEY, allocate, dispose
 from ..memory.store import Store
 from ..reduce.footprint import Footprint
 from .eval import eval_bool_in, eval_in
@@ -180,11 +180,21 @@ def exec_prim(stmt: Stmt, env: Env) -> List[Env]:
             addr = eval_in(stmt.addr, *env.read_stores())
             if fp is not None:
                 fp.read_expr(stmt.addr, env)
+                fp.write_cell(addr, env)
                 fp.mark_alloc()  # allocator state changes: never a mover
             try:
                 data = dispose(env.data_store(), addr)
             except SemanticsError as exc:
                 raise Fault(str(exc))
+            if env.alloc is not None and env.in_method \
+                    and isinstance(addr, int) and addr >= env.alloc[0]:
+                # Sparse regime: quarantine the freed block so the
+                # allocator never reuses an address a stale pointer may
+                # still carry (see repro.memory.heap.QUARANTINE_KEY).
+                base, stride = env.alloc
+                bit = 1 << ((addr - base) // stride)
+                mask = data[QUARANTINE_KEY] if QUARANTINE_KEY in data else 0
+                data = data.set(QUARANTINE_KEY, mask | bit)
             return [env.with_data(data)]
         if isinstance(stmt, Assume):
             if fp is not None:

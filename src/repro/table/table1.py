@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..algorithms.base import VerificationReport
 from ..algorithms.registry import algorithm_names, get_algorithm
@@ -46,6 +46,14 @@ class Table1Row:
     por_pruned: int = 0
     sym_merged: int = 0
     dedup_hit_rate: float = 0.0
+    #: Why the reductions were (partially) held back, from the
+    #: eligibility scan — empty when fully reduced.
+    reduce_reasons: Tuple[str, ...] = ()
+    #: Static-analysis diagnostic keys (``source:method:code``) from the
+    #: instrumentation linter and the race lint.  Empty for every
+    #: verified Table-1 algorithm; non-empty flags a row whose
+    #: instrumentation or synchronization the static layer rejects.
+    diagnostics: Tuple[str, ...] = ()
 
     @staticmethod
     def _tick(flag: bool) -> str:
@@ -54,15 +62,20 @@ class Table1Row:
 
 def verify_row(name: str, limits: Optional[Limits] = None,
                engine=None) -> Table1Row:
+    from ..analysis.diagnostics import analyze_algorithm
     from ..engine.api import resolve_engine
 
     alg = get_algorithm(name)
+    analysis = analyze_algorithm(alg)
     start = time.perf_counter()
     report = alg.verify(limits=limits, engine=engine)
     elapsed = time.perf_counter() - start
     lin = report.linearizability
     return Table1Row(
         reduce=getattr(lin, "reduce", "none"),
+        reduce_reasons=tuple(getattr(lin, "reduce_reasons", ())),
+        diagnostics=tuple(sorted(d.key()
+                                 for d in analysis.diagnostics)),
         nodes=lin.nodes_explored,
         nodes_per_sec=getattr(lin, "nodes_per_sec", 0.0),
         por_pruned=getattr(lin, "por_pruned", 0),
@@ -152,6 +165,8 @@ def table1_json(rows: Sequence[Table1Row]) -> List[dict]:
             "por_pruned": row.por_pruned,
             "sym_merged": row.sym_merged,
             "dedup_hit_rate": round(row.dedup_hit_rate, 4),
+            "reduce_reasons": list(row.reduce_reasons),
+            "diagnostics": list(row.diagnostics),
         }
         for row in rows
     ]
